@@ -1,0 +1,110 @@
+//! §3.4 complexity benchmarks.
+//!
+//! The paper claims the algorithm costs `O(N + C×M)` after the call
+//! graph and member lookups are available, where `N` is the number of
+//! expressions, `C` the number of classes, and `M` the number of
+//! distinct member names. These benches sweep the two terms
+//! independently with the seeded program generator:
+//!
+//! * `analysis/N` — classes fixed, statements per method swept: time
+//!   should grow roughly linearly in program size;
+//! * `analysis/CxM` — statements fixed, class count swept (members per
+//!   class constant, so `C×M` grows linearly in the class count);
+//! * `lookup/depth` — member lookup along an inheritance chain, the
+//!   precomputation the paper delegates to Ramalingam & Srinivasan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddm_benchmarks::generator::{generate, GeneratorConfig};
+use ddm_callgraph::{CallGraph, CallGraphOptions};
+use ddm_core::{AnalysisConfig, DeadMemberAnalysis};
+use ddm_hierarchy::{MemberLookup, Program};
+use std::hint::black_box;
+
+fn prepared(config: &GeneratorConfig, seed: u64) -> (Program, String) {
+    let src = generate(config, seed);
+    let tu = ddm_cppfront::parse(&src).expect("generated programs parse");
+    (Program::build(&tu).expect("generated programs check"), src)
+}
+
+fn bench_sweep_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/N");
+    for stmts in [2usize, 8, 32, 128] {
+        let config = GeneratorConfig {
+            classes: 8,
+            stmts_per_method: stmts,
+            ..Default::default()
+        };
+        let (program, _) = prepared(&config, 11);
+        let lookup = MemberLookup::new(&program);
+        let graph = CallGraph::build(&program, &lookup, &CallGraphOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(stmts), &stmts, |b, _| {
+            b.iter(|| {
+                let analysis = DeadMemberAnalysis::new(&program, AnalysisConfig::default());
+                black_box(analysis.run(&graph).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_cxm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/CxM");
+    for classes in [4usize, 16, 64] {
+        // Scale the exercised objects with the class count so the
+        // reachable-code portion actually covers the C×M growth (a main
+        // that touches a constant number of classes would leave the rest
+        // unreachable and the analysis cost flat).
+        let config = GeneratorConfig {
+            classes,
+            objects_in_main: classes * 2,
+            ..Default::default()
+        };
+        let (program, _) = prepared(&config, 13);
+        let lookup = MemberLookup::new(&program);
+        let graph = CallGraph::build(&program, &lookup, &CallGraphOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(classes), &classes, |b, _| {
+            b.iter(|| {
+                let analysis = DeadMemberAnalysis::new(&program, AnalysisConfig::default());
+                black_box(analysis.run(&graph).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup/depth");
+    for depth in [2usize, 8, 32] {
+        // A straight inheritance chain; the member lives at the top.
+        let mut src = String::from("class C0 { public: int target; };\n");
+        for i in 1..depth {
+            src.push_str(&format!(
+                "class C{i} : public C{} {{ public: int f{i}; }};\n",
+                i - 1
+            ));
+        }
+        src.push_str(&format!(
+            "int main() {{ C{} obj; return obj.target; }}",
+            depth - 1
+        ));
+        let tu = ddm_cppfront::parse(&src).unwrap();
+        let program = Program::build(&tu).unwrap();
+        let leaf = program.class_by_name(&format!("C{}", depth - 1)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                // Fresh service each iteration so the subobject-tree cache
+                // does not amortize the work away.
+                let lookup = MemberLookup::new(&program);
+                black_box(lookup.data_member(leaf, "target").unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sweep_n, bench_sweep_cxm, bench_lookup_depth
+);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! # ddm-bench
+//!
+//! Harness that regenerates every table and figure of the paper's
+//! evaluation section against this reproduction's benchmark suite:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — benchmark characteristics |
+//! | `figure3` | Figure 3 — % dead data members (static) |
+//! | `table2` | Table 2 — execution characteristics (bytes) |
+//! | `figure4` | Figure 4 — % object space occupied by dead members |
+//! | `ablation_callgraph` | §3.1 — call-graph precision ablation |
+//! | `ddm_run` | ad-hoc driver: analyze + execute one source file |
+//!
+//! Absolute byte counts differ from the paper (the originals ran real
+//! 1990s workloads; the suite runs scaled-down deterministic ones), but
+//! the harness prints the paper's number next to the measured one so the
+//! *shape* comparisons — who is highest, where high-water marks equal
+//! total space, how weak the static/dynamic correlation is — are
+//! immediate.
+
+use ddm_benchmarks::Benchmark;
+use ddm_core::PipelineError;
+use ddm_dynamic::{profile_trace, HeapProfile, Interpreter, RunConfig, RuntimeError};
+
+/// Everything measured about one benchmark: the static report and the
+/// dynamic profile.
+#[derive(Debug)]
+pub struct Measured {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Non-blank source lines.
+    pub loc: usize,
+    /// Total classes.
+    pub classes: usize,
+    /// Used classes.
+    pub used_classes: usize,
+    /// Data members in used classes.
+    pub members: usize,
+    /// Dead members in used classes.
+    pub dead_members: usize,
+    /// The Figure 3 percentage.
+    pub dead_pct: f64,
+    /// The Table 2 numbers.
+    pub profile: HeapProfile,
+    /// The paper's published numbers.
+    pub paper: ddm_benchmarks::PaperRow,
+}
+
+/// Errors from measuring a benchmark.
+#[derive(Debug)]
+pub enum MeasureError {
+    /// The static pipeline failed.
+    Pipeline(PipelineError),
+    /// Execution failed.
+    Runtime(RuntimeError),
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            MeasureError::Runtime(e) => write!(f, "runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+/// Analyzes and executes one benchmark, producing all measurements.
+///
+/// # Errors
+///
+/// Returns [`MeasureError`] if analysis or execution fails (the shipped
+/// suite never fails).
+pub fn measure(b: &Benchmark) -> Result<Measured, MeasureError> {
+    let run = b.analyze().map_err(MeasureError::Pipeline)?;
+    let report = run.report();
+    let exec = Interpreter::new(run.program())
+        .run(&RunConfig::default())
+        .map_err(MeasureError::Runtime)?;
+    let profile = profile_trace(run.program(), &exec.trace, run.liveness());
+    Ok(Measured {
+        name: b.name,
+        loc: b.loc(),
+        classes: report.class_count(),
+        used_classes: report.used_class_count(),
+        members: report.members_in_used_classes(),
+        dead_members: report.dead_members_in_used_classes(),
+        dead_pct: report.dead_percentage(),
+        profile,
+        paper: b.paper,
+    })
+}
+
+/// Measures the whole suite, in paper order.
+///
+/// # Errors
+///
+/// Fails on the first benchmark that cannot be measured.
+pub fn measure_suite() -> Result<Vec<Measured>, MeasureError> {
+    ddm_benchmarks::suite().iter().map(measure).collect()
+}
+
+/// Formats an optional paper value for a comparison column.
+pub fn paper_cell<T: std::fmt::Display>(v: Option<T>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "—".to_string(),
+    }
+}
+
+/// Renders a simple ASCII bar for the figure binaries.
+pub fn bar(pct: f64, scale: f64) -> String {
+    let n = ((pct * scale).round() as usize).min(60);
+    "#".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_richards_matches_known_values() {
+        let b = ddm_benchmarks::by_name("richards").unwrap();
+        let m = measure(&b).unwrap();
+        assert_eq!(m.dead_members, 0);
+        assert_eq!(m.profile.dead_member_space, 0);
+        assert_eq!(m.profile.high_water_mark, m.profile.object_space);
+    }
+
+    #[test]
+    fn bar_is_bounded() {
+        assert_eq!(bar(0.0, 2.0), "");
+        assert_eq!(bar(10.0, 2.0).len(), 20);
+        assert_eq!(bar(1000.0, 2.0).len(), 60);
+    }
+
+    #[test]
+    fn paper_cell_formats_missing_values() {
+        assert_eq!(paper_cell(Some(42)), "42");
+        assert_eq!(paper_cell::<u64>(None), "—");
+    }
+}

@@ -1,0 +1,664 @@
+// deltablue -- incremental dataflow constraint solver.
+// Faithful adaptation of the classic DeltaBlue benchmark (Freeman-Benson
+// & Maloney; the Smalltalk/JS benchmark lineage) to the analysed C++
+// subset, including the chain and projection tests. The paper's Table 1
+// lists deltablue at 1,250 lines, 10 classes, 23 data members, with zero
+// dead data members.
+
+enum Strength {
+    REQUIRED = 0,
+    STRONG_PREFERRED = 1,
+    PREFERRED = 2,
+    STRONG_DEFAULT = 3,
+    NORMAL = 4,
+    WEAK_DEFAULT = 5,
+    WEAKEST = 6
+};
+
+enum Direction {
+    BACKWARD = 0,
+    NONE = 1,
+    FORWARD = 2
+};
+
+bool stronger(int s1, int s2) { return s1 < s2; }
+bool weaker(int s1, int s2) { return s1 > s2; }
+int weakest_of(int s1, int s2) { if (weaker(s1, s2)) { return s1; } return s2; }
+int next_weaker(int s) { return s + 1; }
+
+int error_count = 0;
+
+class Constraint;
+class Variable;
+class Planner;
+
+Planner* planner = nullptr;
+
+class ConstraintList {
+public:
+    Constraint** items;
+    int size;
+    int capacity;
+
+    ConstraintList() : size(0), capacity(8) {
+        items = new Constraint*[8];
+    }
+
+    ~ConstraintList() {
+        delete[] items;
+    }
+
+    void push(Constraint* c) {
+        if (size == capacity) {
+            int bigger = capacity * 2;
+            Constraint** grown = new Constraint*[bigger];
+            for (int i = 0; i < size; i++) {
+                grown[i] = items[i];
+            }
+            delete[] items;
+            items = grown;
+            capacity = bigger;
+        }
+        items[size] = c;
+        size = size + 1;
+    }
+
+    Constraint* removeFirst() {
+        Constraint* head = items[0];
+        size = size - 1;
+        for (int i = 0; i < size; i++) {
+            items[i] = items[i + 1];
+        }
+        return head;
+    }
+
+    void removeItem(Constraint* c) {
+        int out = 0;
+        for (int i = 0; i < size; i++) {
+            if (items[i] != c) {
+                items[out] = items[i];
+                out = out + 1;
+            }
+        }
+        size = out;
+    }
+
+    bool isEmpty() { return size == 0; }
+};
+
+class VariableList {
+public:
+    Variable** items;
+    int size;
+    int capacity;
+
+    VariableList() : size(0), capacity(8) {
+        items = new Variable*[8];
+    }
+
+    ~VariableList() {
+        delete[] items;
+    }
+
+    void push(Variable* v) {
+        if (size == capacity) {
+            int bigger = capacity * 2;
+            Variable** grown = new Variable*[bigger];
+            for (int i = 0; i < size; i++) {
+                grown[i] = items[i];
+            }
+            delete[] items;
+            items = grown;
+            capacity = bigger;
+        }
+        items[size] = v;
+        size = size + 1;
+    }
+
+    Variable* removeFirst() {
+        Variable* head = items[0];
+        size = size - 1;
+        for (int i = 0; i < size; i++) {
+            items[i] = items[i + 1];
+        }
+        return head;
+    }
+
+    bool isEmpty() { return size == 0; }
+};
+
+class Variable {
+public:
+    int value;
+    ConstraintList* constraints;
+    Constraint* determinedBy;
+    int mark;
+    int walkStrength;
+    bool stay;
+    int id;
+
+    Variable(int vid, int initial) : value(initial), determinedBy(nullptr), mark(0),
+                                     walkStrength(WEAKEST), stay(true), id(vid) {
+        constraints = new ConstraintList();
+    }
+
+    void addConstraint(Constraint* c) { constraints->push(c); }
+    void removeConstraint(Constraint* c) { constraints->removeItem(c); }
+};
+
+void fail(int code, Variable* v) {
+    print_str("deltablue: check failed ");
+    print_int(code);
+    print_int(v->id);
+    error_count = error_count + 1;
+}
+
+class Constraint {
+public:
+    int strength;
+
+    Constraint(int s) : strength(s) { }
+
+    virtual void addToGraph() = 0;
+    virtual void removeFromGraph() = 0;
+    virtual void chooseMethod(int mark) = 0;
+    virtual bool isSatisfied() = 0;
+    virtual void markInputs(int mark) = 0;
+    virtual bool inputsKnown(int mark) = 0;
+    virtual Variable* output() = 0;
+    virtual void execute() = 0;
+    virtual void recalculate() = 0;
+    virtual void markUnsatisfied() = 0;
+    virtual bool isInput() { return false; }
+
+    Constraint* satisfy(int mark) {
+        chooseMethod(mark);
+        if (!isSatisfied()) {
+            if (strength == REQUIRED) {
+                print_str("deltablue: could not satisfy a required constraint\n");
+                error_count = error_count + 1;
+            }
+            return nullptr;
+        }
+        markInputs(mark);
+        Variable* out = output();
+        Constraint* overridden = out->determinedBy;
+        if (overridden != nullptr) {
+            overridden->markUnsatisfied();
+        }
+        out->determinedBy = this;
+        if (!planner->addPropagate(this, mark)) {
+            print_str("deltablue: cycle encountered\n");
+            error_count = error_count + 1;
+        }
+        out->mark = mark;
+        return overridden;
+    }
+
+    void addConstraint() {
+        addToGraph();
+        planner->incrementalAdd(this);
+    }
+
+    void destroyConstraint() {
+        if (isSatisfied()) {
+            planner->incrementalRemove(this);
+        } else {
+            removeFromGraph();
+        }
+    }
+};
+
+class Planner {
+public:
+    int currentMark;
+
+    Planner() : currentMark(0) { }
+
+    int newMark() {
+        currentMark = currentMark + 1;
+        return currentMark;
+    }
+
+    void addConstraintsConsumingTo(Variable* v, ConstraintList* coll) {
+        Constraint* determining = v->determinedBy;
+        ConstraintList* cc = v->constraints;
+        for (int i = 0; i < cc->size; i++) {
+            Constraint* c = cc->items[i];
+            if (c != determining && c->isSatisfied()) {
+                coll->push(c);
+            }
+        }
+    }
+
+    bool addPropagate(Constraint* c, int mark) {
+        ConstraintList* todo = new ConstraintList();
+        todo->push(c);
+        while (!todo->isEmpty()) {
+            Constraint* d = todo->removeFirst();
+            if (d->output()->mark == mark) {
+                incrementalRemove(c);
+                delete todo;
+                return false;
+            }
+            d->recalculate();
+            addConstraintsConsumingTo(d->output(), todo);
+        }
+        delete todo;
+        return true;
+    }
+
+    void incrementalAdd(Constraint* c) {
+        int mark = newMark();
+        Constraint* overridden = c->satisfy(mark);
+        while (overridden != nullptr) {
+            overridden = overridden->satisfy(mark);
+        }
+    }
+
+    ConstraintList* removePropagateFrom(Variable* out) {
+        ConstraintList* unsatisfied = new ConstraintList();
+        out->determinedBy = nullptr;
+        out->walkStrength = WEAKEST;
+        out->stay = true;
+        VariableList* todo = new VariableList();
+        todo->push(out);
+        while (!todo->isEmpty()) {
+            Variable* v = todo->removeFirst();
+            ConstraintList* cc = v->constraints;
+            for (int i = 0; i < cc->size; i++) {
+                Constraint* c = cc->items[i];
+                if (!c->isSatisfied()) {
+                    unsatisfied->push(c);
+                }
+            }
+            Constraint* determining = v->determinedBy;
+            for (int i = 0; i < cc->size; i++) {
+                Constraint* c = cc->items[i];
+                if (c != determining && c->isSatisfied()) {
+                    c->recalculate();
+                    todo->push(c->output());
+                }
+            }
+        }
+        delete todo;
+        return unsatisfied;
+    }
+
+    void incrementalRemove(Constraint* c) {
+        Variable* out = c->output();
+        c->markUnsatisfied();
+        c->removeFromGraph();
+        ConstraintList* unsatisfied = removePropagateFrom(out);
+        int strength = REQUIRED;
+        while (true) {
+            for (int i = 0; i < unsatisfied->size; i++) {
+                Constraint* u = unsatisfied->items[i];
+                if (u->strength == strength) {
+                    incrementalAdd(u);
+                }
+            }
+            if (strength == WEAKEST) {
+                break;
+            }
+            strength = next_weaker(strength);
+        }
+        delete unsatisfied;
+    }
+};
+
+class UnaryConstraint : public Constraint {
+public:
+    Variable* myOutput;
+    bool satisfied;
+
+    UnaryConstraint(Variable* v, int s) : Constraint(s), myOutput(v), satisfied(false) { }
+
+    virtual void addToGraph() {
+        myOutput->addConstraint(this);
+        satisfied = false;
+    }
+
+    virtual void chooseMethod(int mark) {
+        satisfied = myOutput->mark != mark && stronger(strength, myOutput->walkStrength);
+    }
+
+    virtual bool isSatisfied() { return satisfied; }
+    virtual void markInputs(int mark) { }
+    virtual bool inputsKnown(int mark) { return true; }
+    virtual Variable* output() { return myOutput; }
+
+    virtual void recalculate() {
+        myOutput->walkStrength = strength;
+        myOutput->stay = !isInput();
+        if (myOutput->stay) {
+            execute();
+        }
+    }
+
+    virtual void markUnsatisfied() { satisfied = false; }
+
+    virtual void removeFromGraph() {
+        if (myOutput != nullptr) {
+            myOutput->removeConstraint(this);
+        }
+        satisfied = false;
+    }
+};
+
+class StayConstraint : public UnaryConstraint {
+public:
+    StayConstraint(Variable* v, int s) : UnaryConstraint(v, s) { }
+    virtual void execute() { }
+};
+
+class EditConstraint : public UnaryConstraint {
+public:
+    EditConstraint(Variable* v, int s) : UnaryConstraint(v, s) { }
+    virtual bool isInput() { return true; }
+    virtual void execute() { }
+};
+
+class BinaryConstraint : public Constraint {
+public:
+    Variable* v1;
+    Variable* v2;
+    int direction;
+
+    BinaryConstraint(Variable* a, Variable* b, int s) : Constraint(s), v1(a), v2(b), direction(NONE) { }
+
+    virtual void chooseMethod(int mark) {
+        if (v1->mark == mark) {
+            if (v2->mark != mark && stronger(strength, v2->walkStrength)) {
+                direction = FORWARD;
+            } else {
+                direction = NONE;
+            }
+            return;
+        }
+        if (v2->mark == mark) {
+            if (v1->mark != mark && stronger(strength, v1->walkStrength)) {
+                direction = BACKWARD;
+            } else {
+                direction = NONE;
+            }
+            return;
+        }
+        if (weaker(v1->walkStrength, v2->walkStrength)) {
+            if (stronger(strength, v1->walkStrength)) {
+                direction = BACKWARD;
+            } else {
+                direction = NONE;
+            }
+        } else {
+            if (stronger(strength, v2->walkStrength)) {
+                direction = FORWARD;
+            } else {
+                direction = NONE;
+            }
+        }
+    }
+
+    virtual void addToGraph() {
+        v1->addConstraint(this);
+        v2->addConstraint(this);
+        direction = NONE;
+    }
+
+    virtual bool isSatisfied() { return direction != NONE; }
+
+    virtual void markInputs(int mark) {
+        input()->mark = mark;
+    }
+
+    Variable* input() {
+        if (direction == FORWARD) {
+            return v1;
+        }
+        return v2;
+    }
+
+    virtual Variable* output() {
+        if (direction == FORWARD) {
+            return v2;
+        }
+        return v1;
+    }
+
+    virtual bool inputsKnown(int mark) {
+        Variable* i = input();
+        return i->mark == mark || i->stay || i->determinedBy == nullptr;
+    }
+
+    virtual void recalculate() {
+        Variable* ihn = input();
+        Variable* out = output();
+        out->walkStrength = weakest_of(strength, ihn->walkStrength);
+        out->stay = ihn->stay;
+        if (out->stay) {
+            execute();
+        }
+    }
+
+    virtual void markUnsatisfied() { direction = NONE; }
+
+    virtual void removeFromGraph() {
+        if (v1 != nullptr) {
+            v1->removeConstraint(this);
+        }
+        if (v2 != nullptr) {
+            v2->removeConstraint(this);
+        }
+        direction = NONE;
+    }
+};
+
+class EqualityConstraint : public BinaryConstraint {
+public:
+    EqualityConstraint(Variable* a, Variable* b, int s) : BinaryConstraint(a, b, s) { }
+    virtual void execute() {
+        output()->value = input()->value;
+    }
+};
+
+class ScaleConstraint : public BinaryConstraint {
+public:
+    Variable* scale;
+    Variable* offset;
+
+    ScaleConstraint(Variable* src, Variable* sc, Variable* off, Variable* dest, int s)
+        : BinaryConstraint(src, dest, s), scale(sc), offset(off) { }
+
+    virtual void addToGraph() {
+        v1->addConstraint(this);
+        v2->addConstraint(this);
+        scale->addConstraint(this);
+        offset->addConstraint(this);
+        direction = NONE;
+    }
+
+    virtual void removeFromGraph() {
+        if (v1 != nullptr) { v1->removeConstraint(this); }
+        if (v2 != nullptr) { v2->removeConstraint(this); }
+        if (scale != nullptr) { scale->removeConstraint(this); }
+        if (offset != nullptr) { offset->removeConstraint(this); }
+        direction = NONE;
+    }
+
+    virtual void markInputs(int mark) {
+        input()->mark = mark;
+        scale->mark = mark;
+        offset->mark = mark;
+    }
+
+    virtual void execute() {
+        if (direction == FORWARD) {
+            v2->value = v1->value * scale->value + offset->value;
+        } else {
+            v1->value = (v2->value - offset->value) / scale->value;
+        }
+    }
+
+    virtual void recalculate() {
+        Variable* ihn = input();
+        Variable* out = output();
+        out->walkStrength = weakest_of(strength, ihn->walkStrength);
+        out->stay = ihn->stay && scale->stay && offset->stay;
+        if (out->stay) {
+            execute();
+        }
+    }
+};
+
+class Plan {
+public:
+    ConstraintList* list;
+
+    Plan() {
+        list = new ConstraintList();
+    }
+
+    ~Plan() {
+        delete list;
+    }
+
+    void addConstraint(Constraint* c) { list->push(c); }
+
+    void execute() {
+        for (int i = 0; i < list->size; i++) {
+            list->items[i]->execute();
+        }
+    }
+};
+
+Plan* makePlan(ConstraintList* sources) {
+    int mark = planner->newMark();
+    Plan* plan = new Plan();
+    ConstraintList* todo = sources;
+    while (!todo->isEmpty()) {
+        Constraint* c = todo->removeFirst();
+        if (c->output()->mark != mark && c->inputsKnown(mark)) {
+            plan->addConstraint(c);
+            c->output()->mark = mark;
+            planner->addConstraintsConsumingTo(c->output(), todo);
+        }
+    }
+    return plan;
+}
+
+Plan* extractPlanFromConstraints(ConstraintList* constraints) {
+    ConstraintList* sources = new ConstraintList();
+    for (int i = 0; i < constraints->size; i++) {
+        Constraint* c = constraints->items[i];
+        if (c->isInput() && c->isSatisfied()) {
+            sources->push(c);
+        }
+    }
+    Plan* plan = makePlan(sources);
+    delete sources;
+    return plan;
+}
+
+void change(Variable* v, int newValue) {
+    EditConstraint* edit = new EditConstraint(v, PREFERRED);
+    edit->addConstraint();
+    ConstraintList* editList = new ConstraintList();
+    editList->push(edit);
+    Plan* plan = extractPlanFromConstraints(editList);
+    for (int i = 0; i < 10; i++) {
+        v->value = newValue;
+        plan->execute();
+    }
+    edit->destroyConstraint();
+    delete edit;
+    delete plan;
+    delete editList;
+}
+
+void chainTest(int n) {
+    planner = new Planner();
+    Variable* prev = nullptr;
+    Variable* first = nullptr;
+    Variable* last = nullptr;
+    for (int i = 0; i <= n; i++) {
+        Variable* v = new Variable(i, 0);
+        if (prev != nullptr) {
+            EqualityConstraint* eq = new EqualityConstraint(prev, v, REQUIRED);
+            eq->addConstraint();
+        }
+        if (i == 0) { first = v; }
+        if (i == n) { last = v; }
+        prev = v;
+    }
+    StayConstraint* stay = new StayConstraint(last, STRONG_DEFAULT);
+    stay->addConstraint();
+    EditConstraint* edit = new EditConstraint(first, PREFERRED);
+    edit->addConstraint();
+    ConstraintList* editList = new ConstraintList();
+    editList->push(edit);
+    Plan* plan = extractPlanFromConstraints(editList);
+    for (int i = 0; i < 50; i++) {
+        first->value = i;
+        plan->execute();
+        if (last->value != i) {
+            fail(1, last);
+        }
+    }
+    edit->destroyConstraint();
+    delete plan;
+    delete editList;
+    delete planner;
+    planner = nullptr;
+}
+
+void projectionTest(int n) {
+    planner = new Planner();
+    Variable* scale = new Variable(9001, 10);
+    Variable* offset = new Variable(9002, 1000);
+    Variable* src = nullptr;
+    Variable* dst = nullptr;
+    VariableList* dests = new VariableList();
+    for (int i = 0; i < n; i++) {
+        src = new Variable(2000 + i, i);
+        dst = new Variable(3000 + i, i);
+        dests->push(dst);
+        StayConstraint* stay = new StayConstraint(src, NORMAL);
+        stay->addConstraint();
+        ScaleConstraint* sc = new ScaleConstraint(src, scale, offset, dst, REQUIRED);
+        sc->addConstraint();
+    }
+    change(src, 17);
+    if (dst->value != 1170) {
+        fail(2, dst);
+    }
+    change(dst, 1050);
+    if (src->value != 5) {
+        fail(3, src);
+    }
+    change(scale, 5);
+    for (int i = 0; i < n - 1; i++) {
+        if (dests->items[i]->value != i * 5 + 1000) {
+            fail(4, dests->items[i]);
+        }
+    }
+    change(offset, 2000);
+    for (int i = 0; i < n - 1; i++) {
+        if (dests->items[i]->value != i * 5 + 2000) {
+            fail(5, dests->items[i]);
+        }
+    }
+    delete dests;
+    delete planner;
+    planner = nullptr;
+}
+
+int main() {
+    chainTest(40);
+    projectionTest(40);
+    if (error_count == 0) {
+        print_str("deltablue: OK\n");
+        return 0;
+    }
+    print_str("deltablue: FAILED\n");
+    return error_count;
+}

@@ -1,0 +1,262 @@
+// hotwire -- scriptable graphical presentation builder stand-in.
+// Builds a deck of slides full of shapes from a small script, lays the
+// shapes out, and "renders" them to a checksum canvas. The drawing
+// library carries animation, styling, and export features the
+// application never invokes; the members only those features read are
+// dead. Everything is allocated and held until exit, so the high-water
+// mark equals total object space — the paper measured hotwire at
+// 10,780 total bytes with an identical high-water mark and 284 dead
+// bytes (2.6%).
+
+enum HotwireParams {
+    SLIDE_COUNT = 12,
+    SHAPES_PER_SLIDE = 12,
+    CANVAS_W = 640,
+    CANVAS_H = 480
+};
+
+// ----------------------------------------------------------- draw library
+
+class Style {
+public:
+    int color;
+    int line_width;
+    int fill_pattern;  // dead: patterned fills never enabled by the app
+    int shadow_depth;  // dead: read only by render_fancy(), never called
+    int gradient_to;   // dead: read only by render_fancy(), never called
+
+    Style(int c, int w) : color(c), line_width(w), fill_pattern(0), shadow_depth(2), gradient_to(0) { }
+
+    // Unused library functionality.
+    int render_fancy() {
+        return fill_pattern + shadow_depth * 3 + gradient_to;
+    }
+};
+
+class Canvas {
+public:
+    int width;
+    int height;
+    int checksum;
+    int ops;
+
+    Canvas(int w, int h) : width(w), height(h), checksum(0), ops(0) { }
+
+    void mark(int x, int y, int color) {
+        int cx = x % width;
+        int cy = y % height;
+        if (cx < 0) { cx = cx + width; }
+        if (cy < 0) { cy = cy + height; }
+        checksum = (checksum * 31 + cx * 7 + cy * 13 + color) & 16777215;
+        ops = ops + 1;
+    }
+};
+
+class Shape {
+public:
+    int x;
+    int y;
+    Style* style;
+    int anim_phase;
+
+    Shape(int px, int py, Style* s) : x(px), y(py), style(s), anim_phase(0) { }
+
+    virtual void draw(Canvas* canvas) = 0;
+    virtual int area() = 0;
+
+    void moveBy(int dx, int dy) {
+        x = x + dx;
+        y = y + dy;
+        anim_phase = dx + dy;
+    }
+
+    // Unused library functionality.
+    virtual int animate(int tick) {
+        return anim_phase * tick;
+    }
+};
+
+class BoxShape : public Shape {
+public:
+    int w;
+    int h;
+
+    BoxShape(int px, int py, int pw, int ph, Style* s) : Shape(px, py, s), w(pw), h(ph) { }
+
+    virtual void draw(Canvas* canvas) {
+        canvas->mark(x + anim_phase, y, style->color);
+        canvas->mark(x + w, y + h, style->color + style->line_width);
+    }
+
+    virtual int area() { return w * h; }
+};
+
+class LineShape : public Shape {
+public:
+    int x2;
+    int y2;
+    int arrow_kind;
+
+    LineShape(int px, int py, int qx, int qy, Style* s)
+        : Shape(px, py, s), x2(qx), y2(qy), arrow_kind(1) { }
+
+    virtual void draw(Canvas* canvas) {
+        canvas->mark(x, y, style->color + arrow_kind);
+        canvas->mark(x2 + anim_phase, y2, style->color);
+    }
+
+    virtual int area() {
+        int dx = x2 - x;
+        int dy = y2 - y;
+        return dx * dx + dy * dy;
+    }
+
+    // Unused library functionality.
+    void draw_arrow(Canvas* canvas) {
+        canvas->mark(x2 + arrow_kind, y2 + arrow_kind, style->color);
+    }
+};
+
+class TextShape : public Shape {
+public:
+    int glyph_count;
+    int font_id;
+    int kerning;
+
+    TextShape(int px, int py, int glyphs, int font, Style* s)
+        : Shape(px, py, s), glyph_count(glyphs), font_id(font), kerning(1) { }
+
+    virtual void draw(Canvas* canvas) {
+        for (int i = 0; i < glyph_count; i++) {
+            canvas->mark(x + i * (8 + kerning), y, style->color + font_id);
+        }
+    }
+
+    virtual int area() { return glyph_count * 8 * 12; }
+
+    // Unused library functionality.
+    int export_pdf() {
+        return kerning * glyph_count;
+    }
+};
+
+// ------------------------------------------------------------- application
+
+class Slide {
+public:
+    Shape* shapes[12];
+    int shape_count;
+    int title_hash;
+    int transition;   // dead: slide transitions never played
+    int duration_ms;  // dead: read only by play(), never called
+
+    Slide(int title) : shape_count(0), title_hash(title * 2654435761), transition(1), duration_ms(5000) { }
+
+    void add(Shape* s) {
+        shapes[shape_count] = s;
+        shape_count = shape_count + 1;
+    }
+
+    void render(Canvas* canvas) {
+        for (int i = 0; i < shape_count; i++) {
+            shapes[i]->draw(canvas);
+        }
+        canvas->mark(title_hash % CANVAS_W, 0, title_hash % 255);
+    }
+
+    int total_area() {
+        int total = 0;
+        for (int i = 0; i < shape_count; i++) {
+            total = total + shapes[i]->area();
+        }
+        return total;
+    }
+
+    // Unused library functionality.
+    int play() {
+        return transition * duration_ms;
+    }
+};
+
+class Deck {
+public:
+    Slide* slides[12];
+    int slide_count;
+    int author_id;  // dead: metadata written at creation, only read by export_meta()
+
+    Deck(int author) : slide_count(0), author_id(author) { }
+
+    void add(Slide* s) {
+        slides[slide_count] = s;
+        slide_count = slide_count + 1;
+    }
+
+    // Unused library functionality.
+    int export_meta() {
+        return author_id;
+    }
+};
+
+class ScriptOp {
+public:
+    int opcode;
+    int arg1;
+    int arg2;
+
+    ScriptOp(int op, int a, int b) : opcode(op), arg1(a), arg2(b) { }
+};
+
+int main() {
+    Deck* deck = new Deck(7);
+    Style* heading = new Style(3, 2);
+    Style* body = new Style(9, 1);
+
+    for (int s = 0; s < SLIDE_COUNT; s++) {
+        Slide* slide = new Slide(s + 1);
+        for (int i = 0; i < SHAPES_PER_SLIDE; i++) {
+            int kind = (s + i) % 3;
+            if (kind == 0) {
+                slide->add(new BoxShape(i * 20, s * 30, 40 + i, 25 + s, body));
+            } else if (kind == 1) {
+                slide->add(new LineShape(i * 10, s * 10, i * 10 + 50, s * 10 + 5, body));
+            } else {
+                slide->add(new TextShape(i * 15, s * 40, 6 + i, 2, heading));
+            }
+        }
+        deck->add(slide);
+    }
+
+    // A tiny "script" nudges shapes around before rendering.
+    ScriptOp* ops[4];
+    ops[0] = new ScriptOp(1, 2, 3);
+    ops[1] = new ScriptOp(1, -1, 4);
+    ops[2] = new ScriptOp(1, 5, -2);
+    ops[3] = new ScriptOp(1, 0, 1);
+    for (int o = 0; o < 4; o++) {
+        for (int s = 0; s < deck->slide_count; s++) {
+            Slide* slide = deck->slides[s];
+            for (int i = 0; i < slide->shape_count; i++) {
+                if (ops[o]->opcode == 1) {
+                    slide->shapes[i]->moveBy(ops[o]->arg1, ops[o]->arg2);
+                }
+            }
+        }
+    }
+
+    Canvas* canvas = new Canvas(CANVAS_W, CANVAS_H);
+    int area = 0;
+    for (int s = 0; s < deck->slide_count; s++) {
+        deck->slides[s]->render(canvas);
+        area = area + deck->slides[s]->total_area();
+    }
+
+    print_str("hotwire: slides=");
+    print_int(deck->slide_count);
+    print_str("hotwire: ops=");
+    print_int(canvas->ops);
+    print_str("hotwire: area=");
+    print_int(area);
+    print_str("hotwire: checksum=");
+    print_int(canvas->checksum);
+    return 0;
+}

@@ -1,0 +1,292 @@
+// idl -- SOM IDL compiler stand-in. The paper singles out idl as "a
+// highly object-oriented application with a complex class hierarchy and
+// heavy use of virtual functions and virtual inheritance"; this model
+// reproduces that shape: every declaration node sits on a diamond of
+// virtual inheritance (Named and Typed both virtually derive from
+// SyntaxNode), and code generation dispatches virtually. The compiler
+// builds the whole AST, holds it, and emits at the end, so the
+// high-water mark is nearly identical to total object space (the paper:
+// 701,273 of 708,249 bytes). Dead members are repository-metadata
+// fields only read by an unused interface-repository exporter.
+
+enum IdlParams {
+    MODULE_COUNT = 6,
+    INTERFACES_PER_MODULE = 4,
+    OPS_PER_INTERFACE = 5,
+    ATTRS_PER_INTERFACE = 4,
+    PARAMS_PER_OP = 3
+};
+
+enum TypeCode {
+    TC_VOID = 0,
+    TC_SHORT = 1,
+    TC_LONG = 2,
+    TC_FLOAT = 3,
+    TC_STRING = 4,
+    TC_OBJREF = 5,
+    TYPE_CODE_COUNT = 6
+};
+
+enum ParamDirection {
+    DIR_IN = 0,
+    DIR_OUT = 1,
+    DIR_INOUT = 2
+};
+
+class Emitter {
+public:
+    int checksum;
+    int lines;
+    int depth;
+    int indent_width;
+    int last_line;   // dead: pure-write, read only by the source-map dump
+
+    Emitter() : checksum(0), lines(0), depth(0), indent_width(4), last_line(0) { }
+
+    void emit(int code) {
+        checksum = (checksum * 37 + code + depth * indent_width) & 16777215;
+        lines = lines + 1;
+    }
+
+    void enter() { depth = depth + 1; }
+    void leave() { depth = depth - 1; }
+
+    // Unused source-map dump.
+    int source_map_entry() {
+        return last_line;
+    }
+};
+
+class SyntaxNode {
+public:
+    int node_id;
+    int line;
+
+    SyntaxNode(int id, int ln) : node_id(id), line(ln) { }
+
+    virtual void generate(Emitter* out) = 0;
+    virtual int weight() { return 1; }
+};
+
+class Named : public virtual SyntaxNode {
+public:
+    int name_hash;
+    int scope_depth;
+
+    Named(int id, int ln, int name) : SyntaxNode(id, ln), name_hash(name), scope_depth(0) { }
+};
+
+class Typed : public virtual SyntaxNode {
+public:
+    int type_code;
+    int is_sequence;
+
+    Typed(int id, int ln, int tc) : SyntaxNode(id, ln), type_code(tc), is_sequence(tc % 5 == 4) { }
+};
+
+class Decl : public Named, public Typed {
+public:
+    Decl* next;
+    int defined_in;
+
+    Decl(int id, int ln, int name, int tc)
+        : SyntaxNode(id, ln), Named(id, ln, name), Typed(id, ln, tc), next(nullptr), defined_in(0) { }
+
+    virtual void generate(Emitter* out) {
+        out->last_line = line;
+        int seq_tag = 0;
+        if (is_sequence) {
+            seq_tag = 64;
+        }
+        out->emit(name_hash + type_code * 7 + node_id + scope_depth + seq_tag + defined_in);
+    }
+};
+
+class ParamDecl : public Decl {
+public:
+    int direction;
+    int has_default;
+
+    ParamDecl(int id, int name, int tc, int dir) : Decl(id, 0, name, tc), direction(dir), has_default(dir == DIR_IN) { }
+
+    virtual void generate(Emitter* out) {
+        int dflt = 0;
+        if (has_default != 0) {
+            dflt = 9;
+        }
+        out->emit(direction * 100 + type_code + name_hash % 50 + dflt);
+    }
+
+    virtual int weight() { return 1; }
+};
+
+class AttributeDecl : public Decl {
+public:
+    int readonly_flag;
+
+    AttributeDecl(int id, int name, int tc, int ro) : Decl(id, 0, name, tc), readonly_flag(ro) { }
+
+    virtual void generate(Emitter* out) {
+        // Getter, and a setter for writable attributes.
+        out->emit(name_hash * 3 + type_code);
+        if (readonly_flag == 0) {
+            out->emit(name_hash * 5 + type_code);
+        }
+    }
+
+    virtual int weight() { return 2; }
+};
+
+class OperationDecl : public Decl {
+public:
+    ParamDecl* params[3];
+    int param_count;
+    int oneway_flag;
+    int context_count;
+
+    OperationDecl(int id, int name, int tc, int ow) : Decl(id, 0, name, tc), param_count(0), oneway_flag(ow), context_count(tc % 2) { }
+
+    void add_param(ParamDecl* p) {
+        params[param_count] = p;
+        param_count = param_count + 1;
+    }
+
+    virtual void generate(Emitter* out) {
+        out->emit(name_hash + type_code * 11 + oneway_flag + context_count);
+        out->enter();
+        for (int i = 0; i < param_count; i++) {
+            params[i]->generate(out);
+        }
+        out->leave();
+    }
+
+    virtual int weight() { return 1 + param_count; }
+};
+
+class InterfaceDecl : public Decl {
+public:
+    Decl* members_head;
+    int member_count;
+    int is_local;
+    int version_major;  // dead: read only by the IR exporter, never run
+    int version_minor;  // dead: read only by the IR exporter, never run
+    int repository_tag; // dead: read only by the IR exporter, never run
+
+    InterfaceDecl(int id, int name) : Decl(id, 0, name, TC_OBJREF), members_head(nullptr), member_count(0), is_local(name % 2), version_major(1), version_minor(0), repository_tag(0) {
+        repository_tag = name * 31;
+    }
+
+    void add_member(Decl* d) {
+        d->next = members_head;
+        d->defined_in = name_hash;
+        members_head = d;
+        member_count = member_count + 1;
+    }
+
+    virtual void generate(Emitter* out) {
+        out->emit(name_hash * 13 + is_local);
+        out->enter();
+        Decl* d = members_head;
+        while (d != nullptr) {
+            d->generate(out);
+            d = d->next;
+        }
+        out->leave();
+    }
+
+    virtual int weight() {
+        int total = 2;
+        Decl* d = members_head;
+        while (d != nullptr) {
+            total = total + d->weight();
+            d = d->next;
+        }
+        return total;
+    }
+
+    // Unused interface-repository exporter.
+    int export_ir() {
+        return version_major * 1000 + version_minor + repository_tag;
+    }
+};
+
+class ModuleDecl : public Decl {
+public:
+    InterfaceDecl* interfaces[4];
+    int interface_count;
+    int prefix_hash;
+
+    ModuleDecl(int id, int name) : Decl(id, 0, name, TC_VOID), interface_count(0), prefix_hash(name * 53) { }
+
+    void add_interface(InterfaceDecl* i) {
+        interfaces[interface_count] = i;
+        interface_count = interface_count + 1;
+    }
+
+    virtual void generate(Emitter* out) {
+        out->emit(name_hash * 17 + prefix_hash);
+        out->enter();
+        for (int i = 0; i < interface_count; i++) {
+            interfaces[i]->generate(out);
+        }
+        out->leave();
+    }
+
+    virtual int weight() {
+        int total = 1;
+        for (int i = 0; i < interface_count; i++) {
+            total = total + interfaces[i]->weight();
+        }
+        return total;
+    }
+};
+
+int main() {
+    Emitter* out = new Emitter();
+    ModuleDecl* modules[6];
+    int next_id = 1;
+    int seed = 12345;
+
+    for (int m = 0; m < MODULE_COUNT; m++) {
+        ModuleDecl* mod = new ModuleDecl(next_id, 500 + m);
+        next_id = next_id + 1;
+        for (int i = 0; i < INTERFACES_PER_MODULE; i++) {
+            InterfaceDecl* iface = new InterfaceDecl(next_id, m * 100 + i);
+            next_id = next_id + 1;
+            for (int a = 0; a < ATTRS_PER_INTERFACE; a++) {
+                seed = (seed * 1103515245 + 12345) & 1048575;
+                iface->add_member(new AttributeDecl(next_id, seed % 997, seed % TYPE_CODE_COUNT, a % 2));
+                next_id = next_id + 1;
+            }
+            for (int o = 0; o < OPS_PER_INTERFACE; o++) {
+                seed = (seed * 1103515245 + 12345) & 1048575;
+                OperationDecl* op = new OperationDecl(next_id, seed % 991, seed % TYPE_CODE_COUNT, o % 3 == 0);
+                next_id = next_id + 1;
+                for (int pnum = 0; pnum < PARAMS_PER_OP; pnum++) {
+                    seed = (seed * 1103515245 + 12345) & 1048575;
+                    op->add_param(new ParamDecl(next_id, seed % 983, seed % TYPE_CODE_COUNT, pnum % 3));
+                    next_id = next_id + 1;
+                }
+                iface->add_member(op);
+            }
+            mod->add_interface(iface);
+        }
+        modules[m] = mod;
+    }
+
+    int total_weight = 0;
+    for (int m = 0; m < MODULE_COUNT; m++) {
+        modules[m]->generate(out);
+        total_weight = total_weight + modules[m]->weight();
+    }
+
+    print_str("idl: nodes=");
+    print_int(next_id - 1);
+    print_str("idl: weight=");
+    print_int(total_weight);
+    print_str("idl: lines=");
+    print_int(out->lines);
+    print_str("idl: checksum=");
+    print_int(out->checksum);
+    return 0;
+}

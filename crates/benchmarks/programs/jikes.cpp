@@ -1,0 +1,353 @@
+// jikes -- Java-compiler front-end stand-in (the paper's largest
+// benchmark). Lexes a stream of synthetic source "tokens", parses them
+// into expression ASTs, resolves identifiers against a symbol table,
+// and emits stack bytecode. The AST for each compilation unit is freed
+// after code generation, so the high-water mark sits well below total
+// object space (the paper measured ~75%). Dead members come from
+// abandoned compiler features: position tracking for a column-precise
+// error reporter that was never wired up, and cache fields of a
+// retired optimization pass.
+
+enum JikesParams {
+    UNIT_COUNT = 30,
+    EXPRS_PER_UNIT = 28
+};
+
+enum TokKind {
+    TOK_NUM = 0,
+    TOK_IDENT = 1,
+    TOK_PLUS = 2,
+    TOK_STAR = 3,
+    TOK_LPAREN = 4,
+    TOK_RPAREN = 5,
+    TOK_EOF = 6
+};
+
+enum AstKind {
+    AST_LIT = 0,
+    AST_VAR = 1,
+    AST_BIN = 2
+};
+
+class Token {
+public:
+    int kind;
+    int value;
+    int line;
+    int column;
+    int length;
+
+    Token(int k, int v, int ln, int col, int len)
+        : kind(k), value(v), line(ln), column(col), length(len) { }
+};
+
+class TokenStream {
+public:
+    int seed;
+    int position;
+    int emitted;
+    int depth;
+
+    TokenStream(int s) : seed(s), position(0), emitted(0), depth(0) { }
+
+    Token* next() {
+        seed = (seed * 1103515245 + 12345) & 1048575;
+        position = position + 1;
+        emitted = emitted + 1;
+        int roll = seed % 10;
+        int kind;
+        if (depth > 0 && roll < 2) {
+            kind = TOK_RPAREN;
+            depth = depth - 1;
+        } else if (roll < 3) {
+            kind = TOK_LPAREN;
+            depth = depth + 1;
+        } else if (roll < 6) {
+            kind = TOK_NUM;
+        } else if (roll < 8) {
+            kind = TOK_IDENT;
+        } else if (roll < 9) {
+            kind = TOK_PLUS;
+        } else {
+            kind = TOK_STAR;
+        }
+        Token* t = new Token(kind, seed % 100, position / 40, position % 40, 1 + seed % 6);
+        position = position + t->length - 1;
+        return t;
+    }
+};
+
+class AstNode {
+public:
+    int kind;
+    int line;
+    int const_cache;  // dead: constant-folding cache of a retired pass
+
+    AstNode(int k, int ln) : kind(k), line(ln), const_cache(0) { }
+
+    virtual int eval() = 0;
+    virtual int emit(int* buf, int at) = 0;
+    virtual void release() = 0;
+};
+
+class AstLiteral : public AstNode {
+public:
+    int value;
+
+    AstLiteral(int v, int ln) : AstNode(AST_LIT, ln), value(v) { }
+
+    virtual int eval() { return value; }
+
+    virtual int emit(int* buf, int at) {
+        buf[at] = 100 + value;
+        return at + 1;
+    }
+
+    virtual void release() { }
+};
+
+class Symbol;
+
+class AstVar : public AstNode {
+public:
+    Symbol* sym;
+
+    AstVar(Symbol* s, int ln) : AstNode(AST_VAR, ln), sym(s) { }
+
+    virtual int eval() {
+        sym->reads = sym->reads + 1;
+        return sym->value;
+    }
+
+    virtual int emit(int* buf, int at) {
+        buf[at] = 200 + sym->slot;
+        return at + 1;
+    }
+
+    virtual void release() { }
+};
+
+class AstBinary : public AstNode {
+public:
+    int op;
+    AstNode* lhs;
+    AstNode* rhs;
+
+    AstBinary(int o, AstNode* l, AstNode* r, int ln) : AstNode(AST_BIN, ln), op(o), lhs(l), rhs(r) { }
+
+    virtual int eval() {
+        if (op == TOK_PLUS) {
+            return lhs->eval() + rhs->eval();
+        }
+        return lhs->eval() * rhs->eval();
+    }
+
+    virtual int emit(int* buf, int at) {
+        at = lhs->emit(buf, at);
+        at = rhs->emit(buf, at);
+        buf[at] = op;
+        return at + 1;
+    }
+
+    virtual void release() {
+        lhs->release();
+        rhs->release();
+        delete lhs;
+        delete rhs;
+    }
+};
+
+class Symbol {
+public:
+    int name_hash;
+    int slot;
+    int value;
+    int reads;
+    Symbol* next;
+    int decl_column;  // dead: written at declaration, reader never shipped
+
+    Symbol(int h, int sl, int v, Symbol* n)
+        : name_hash(h), slot(sl), value(v), reads(0), next(n), decl_column(0) { }
+};
+
+class SymbolTable {
+public:
+    Symbol* head;
+    int count;
+    int lookups;
+
+    SymbolTable() : head(nullptr), count(0), lookups(0) { }
+
+    Symbol* intern(int name_hash) {
+        lookups = lookups + 1;
+        Symbol* s = head;
+        while (s != nullptr) {
+            if (s->name_hash == name_hash) {
+                return s;
+            }
+            s = s->next;
+        }
+        head = new Symbol(name_hash, count, name_hash % 17, head);
+        head->decl_column = name_hash % 80;
+        count = count + 1;
+        return head;
+    }
+};
+
+class CodeBuffer {
+public:
+    int* code;
+    int len;
+    int capacity;
+    int checksum;
+
+    CodeBuffer(int cap) : len(0), capacity(cap), checksum(0) {
+        code = new int[cap];
+    }
+
+    void absorb(int upto) {
+        if (len + upto > capacity) {
+            return;
+        }
+        for (int i = 0; i < upto; i++) {
+            checksum = (checksum * 33 + code[i]) & 16777215;
+        }
+        len = len + upto;
+    }
+};
+
+class Parser {
+public:
+    TokenStream* tokens;
+    SymbolTable* symtab;
+    Token* lookahead;
+    int nodes_built;
+    int errors;
+    int last_error_line; // dead: written on error, read only by report_verbose()
+
+    Parser(TokenStream* ts, SymbolTable* st) : tokens(ts), symtab(st), nodes_built(0), errors(0), last_error_line(0) {
+        lookahead = tokens->next();
+    }
+
+    void advance() {
+        delete lookahead;
+        lookahead = tokens->next();
+    }
+
+    // primary := NUM | IDENT | '(' expr ')'
+    AstNode* primary() {
+        if (lookahead->kind == TOK_NUM) {
+            AstNode* n = new AstLiteral(lookahead->value, lookahead->line);
+            nodes_built = nodes_built + 1;
+            advance();
+            return n;
+        }
+        if (lookahead->kind == TOK_IDENT) {
+            Symbol* s = symtab->intern(lookahead->value % 23);
+            AstNode* n = new AstVar(s, lookahead->line);
+            nodes_built = nodes_built + 1;
+            advance();
+            return n;
+        }
+        if (lookahead->kind == TOK_LPAREN) {
+            advance();
+            AstNode* inner = expr();
+            if (lookahead->kind == TOK_RPAREN) {
+                advance();
+            } else {
+                errors = errors + 1;
+                last_error_line = lookahead->line;
+            }
+            return inner;
+        }
+        // Error recovery: swallow one token, produce a zero literal that
+        // remembers where recovery happened.
+        errors = errors + 1;
+        last_error_line = lookahead->line;
+        int where = lookahead->column;
+        advance();
+        AstNode* n = new AstLiteral(0, where);
+        nodes_built = nodes_built + 1;
+        return n;
+    }
+
+    // term := primary ('*' primary)*
+    AstNode* term() {
+        AstNode* left = primary();
+        while (lookahead->kind == TOK_STAR) {
+            advance();
+            AstNode* right = primary();
+            left = new AstBinary(TOK_STAR, left, right, left->line);
+            nodes_built = nodes_built + 1;
+        }
+        return left;
+    }
+
+    // expr := term ('+' term)*
+    AstNode* expr() {
+        AstNode* left = term();
+        while (lookahead->kind == TOK_PLUS) {
+            advance();
+            AstNode* right = term();
+            left = new AstBinary(TOK_PLUS, left, right, left->line);
+            nodes_built = nodes_built + 1;
+        }
+        return left;
+    }
+
+    // Unused verbose error reporter.
+    void report_verbose() {
+        print_int(errors);
+        print_int(last_error_line);
+    }
+};
+
+int main() {
+    SymbolTable* symtab = new SymbolTable();
+    CodeBuffer* output = new CodeBuffer(4096);
+    int value_sum = 0;
+    int total_nodes = 0;
+    int total_errors = 0;
+
+    for (int unit = 0; unit < UNIT_COUNT; unit++) {
+        TokenStream* ts = new TokenStream(unit * 2654435761 + 97);
+        Parser* parser = new Parser(ts, symtab);
+        int scratch[64];
+        for (int e = 0; e < EXPRS_PER_UNIT; e++) {
+            AstNode* tree = parser->expr();
+            value_sum = (value_sum + tree->eval() + tree->kind) & 16777215;
+            int emitted = tree->emit(scratch, 0);
+            output->absorb(0);
+            for (int i = 0; i < emitted; i++) {
+                output->checksum = (output->checksum * 33 + scratch[i]) & 16777215;
+            }
+            output->len = output->len + emitted;
+            // The front end keeps the whole program's ASTs; only tokens
+            // are transient, so the HWM sits below the total but is a
+            // substantial fraction of it.
+        }
+        total_nodes = total_nodes + parser->nodes_built;
+        total_errors = total_errors + parser->errors;
+        delete parser->lookahead;
+        delete parser;
+        delete ts;
+    }
+
+    print_str("jikes: units=");
+    print_int(UNIT_COUNT);
+    print_str("jikes: nodes=");
+    print_int(total_nodes);
+    print_str("jikes: symbols=");
+    print_int(symtab->count);
+    print_str("jikes: lookups=");
+    print_int(symtab->lookups);
+    print_str("jikes: errors=");
+    print_int(total_errors);
+    print_str("jikes: code_len=");
+    print_int(output->len);
+    print_str("jikes: value_sum=");
+    print_int(value_sum);
+    print_str("jikes: checksum=");
+    print_int(output->checksum);
+    return 0;
+}

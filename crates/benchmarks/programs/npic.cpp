@@ -1,0 +1,247 @@
+// npic -- particle-in-cell plasma simulation stand-in. Each timestep
+// injects particles, pushes them through the grid's field, deposits
+// charge, and absorbs particles that leave the domain (freeing them),
+// so total object space is several times the high-water mark (the
+// paper: 115,248 total vs a 24,972-byte high-water mark). Dead members
+// are diagnostic moments and boundary bookkeeping read only by an
+// unused analysis report.
+
+enum NpicParams {
+    GRID_W = 8,
+    GRID_H = 8,
+    STEPS = 120,
+    INJECT_PER_STEP = 12
+};
+
+class Particle {
+public:
+    int x_q16;
+    int y_q16;
+    int vx_q16;
+    int vy_q16;
+    int charge;
+    char spin_tag;  // dead: written at injection, read only by dump_spins()
+    Particle* next;
+
+    Particle(int x, int y, int vx, int vy, int q)
+        : x_q16(x), y_q16(y), vx_q16(vx), vy_q16(vy), charge(q), next(nullptr) {
+        spin_tag = (char)(q + 2);
+    }
+};
+
+// Unreachable spin diagnostic: the only reader of spin_tag.
+int dump_spins(Particle* head) {
+    int sum = 0;
+    Particle* p = head;
+    while (p != nullptr) {
+        sum = sum + p->spin_tag;
+        p = p->next;
+    }
+    return sum;
+}
+
+class Cell {
+public:
+    int ex_q16;
+    int ey_q16;
+    int rho;
+    int visits;
+
+    Cell() : ex_q16(0), ey_q16(0), rho(0), visits(0) { }
+};
+
+class Grid {
+public:
+    Cell* cells[64];
+    int width;
+    int height;
+    int cell_count;
+
+    Grid(int w, int h) : width(w), height(h), cell_count(w * h) {
+        for (int i = 0; i < cell_count; i++) {
+            cells[i] = new Cell();
+        }
+    }
+
+    Cell* at(int cx, int cy) {
+        int ix = cx % width;
+        int iy = cy % height;
+        if (ix < 0) { ix = ix + width; }
+        if (iy < 0) { iy = iy + height; }
+        return cells[iy * width + ix];
+    }
+};
+
+class FieldSolver {
+public:
+    int iterations;
+    int tolerance_q16;
+    int last_residual;  // dead: read only by convergence_report(), never run
+
+    FieldSolver() : iterations(2), tolerance_q16(64), last_residual(0) { }
+
+    void solve(Grid* grid) {
+        for (int it = 0; it < iterations; it++) {
+            int residual = 0;
+            for (int y = 0; y < grid->height; y++) {
+                for (int x = 0; x < grid->width; x++) {
+                    Cell* c = grid->at(x, y);
+                    Cell* right = grid->at(x + 1, y);
+                    Cell* down = grid->at(x, y + 1);
+                    int new_ex = (right->rho - c->rho) * 3;
+                    int new_ey = (down->rho - c->rho) * 3;
+                    residual = residual + (new_ex - c->ex_q16) + (new_ey - c->ey_q16);
+                    c->ex_q16 = new_ex;
+                    c->ey_q16 = new_ey;
+                }
+            }
+            last_residual = residual;
+            if (residual < tolerance_q16 && residual > -tolerance_q16) {
+                break;
+            }
+        }
+    }
+
+    // Unused diagnostics.
+    int convergence_report() {
+        return last_residual / iterations;
+    }
+};
+
+class Diagnostics {
+public:
+    int pushed;
+    int absorbed;
+    int injected;
+    int moment_x;    // dead: first moment, read only by full_report()
+    int moment_y;    // dead: first moment, read only by full_report()
+
+    Diagnostics() : pushed(0), absorbed(0), injected(0), moment_x(0), moment_y(0) { }
+
+    void tally(Particle* p) {
+        pushed = pushed + 1;
+        moment_x = p->x_q16 * p->charge;
+        moment_y = p->y_q16 * p->charge;
+    }
+
+    // Unused analysis report.
+    void full_report() {
+        print_int(moment_x);
+        print_int(moment_y);
+    }
+};
+
+class Plasma {
+public:
+    Grid* grid;
+    FieldSolver* solver;
+    Diagnostics* diag;
+    Particle* head;
+    int population;
+    int peak_population;
+    int seed;
+
+    Plasma() : head(nullptr), population(0), peak_population(0), seed(20260707) {
+        grid = new Grid(GRID_W, GRID_H);
+        solver = new FieldSolver();
+        diag = new Diagnostics();
+    }
+
+    int rand_q(int bound) {
+        seed = (seed * 1103515245 + 12345) & 1048575;
+        return seed % bound;
+    }
+
+    void inject(int count) {
+        for (int i = 0; i < count; i++) {
+            int x = rand_q(GRID_W * 65536);
+            int y = rand_q(GRID_H * 65536);
+            int vx = rand_q(524288) - 262144;
+            int vy = rand_q(524288) - 262144;
+            int q = 1;
+            if (rand_q(2) == 0) {
+                q = -1;
+            }
+            Particle* p = new Particle(x, y, vx, vy, q);
+            p->next = head;
+            head = p;
+            population = population + 1;
+            if (population > peak_population) {
+                peak_population = population;
+            }
+            diag->injected = diag->injected + 1;
+        }
+    }
+
+    void deposit() {
+        for (int i = 0; i < grid->cell_count; i++) {
+            grid->cells[i]->rho = 0;
+        }
+        Particle* p = head;
+        while (p != nullptr) {
+            Cell* c = grid->at(p->x_q16 / 65536, p->y_q16 / 65536);
+            c->rho = c->rho + p->charge;
+            c->visits = c->visits + 1;
+            p = p->next;
+        }
+    }
+
+    void push() {
+        Particle* p = head;
+        Particle* prev = nullptr;
+        while (p != nullptr) {
+            Cell* c = grid->at(p->x_q16 / 65536, p->y_q16 / 65536);
+            p->vx_q16 = p->vx_q16 + c->ex_q16 * p->charge / 16;
+            p->vy_q16 = p->vy_q16 + c->ey_q16 * p->charge / 16;
+            p->x_q16 = p->x_q16 + p->vx_q16 / 8;
+            p->y_q16 = p->y_q16 + p->vy_q16 / 8;
+            diag->tally(p);
+            bool out_of_domain = p->x_q16 < 0 || p->y_q16 < 0
+                || p->x_q16 >= GRID_W * 65536 || p->y_q16 >= GRID_H * 65536;
+            if (out_of_domain) {
+                Particle* dead_particle = p;
+                if (prev == nullptr) {
+                    head = p->next;
+                } else {
+                    prev->next = p->next;
+                }
+                p = p->next;
+                delete dead_particle;
+                population = population - 1;
+                diag->absorbed = diag->absorbed + 1;
+            } else {
+                prev = p;
+                p = p->next;
+            }
+        }
+    }
+};
+
+int main() {
+    Plasma* plasma = new Plasma();
+    for (int step = 0; step < STEPS; step++) {
+        plasma->inject(INJECT_PER_STEP);
+        plasma->deposit();
+        plasma->solver->solve(plasma->grid);
+        plasma->push();
+    }
+
+    int cell_checksum = 0;
+    for (int i = 0; i < GRID_W * GRID_H; i++) {
+        cell_checksum = (cell_checksum * 31 + plasma->grid->cells[i]->visits) & 16777215;
+    }
+
+    print_str("npic: injected=");
+    print_int(plasma->diag->injected);
+    print_str("npic: absorbed=");
+    print_int(plasma->diag->absorbed);
+    print_str("npic: population=");
+    print_int(plasma->population);
+    print_str("npic: peak=");
+    print_int(plasma->peak_population);
+    print_str("npic: pushed=");
+    print_int(plasma->diag->pushed);
+    print_str("npic: cells=");
+    print_int(cell_checksum);
+    return 0;
+}

@@ -1,0 +1,346 @@
+// richards -- simple operating-system task scheduler simulator.
+// Faithful adaptation of M. Richards' benchmark (the Deutsch/Bobrow
+// variant popularized by the Smalltalk, Self, and V8 benchmark suites)
+// to the analysed C++ subset. The paper's Table 1 lists richards at
+// 606 lines, 12 classes, 28 data members, with zero dead data members.
+
+enum TaskId {
+    ID_IDLE = 0,
+    ID_WORKER = 1,
+    ID_HANDLER_A = 2,
+    ID_HANDLER_B = 3,
+    ID_DEVICE_A = 4,
+    ID_DEVICE_B = 5,
+    NUMBER_OF_IDS = 6
+};
+
+enum PacketKind {
+    KIND_DEVICE = 0,
+    KIND_WORK = 1
+};
+
+enum TaskState {
+    STATE_RUNNING = 0,
+    STATE_RUNNABLE = 1,
+    STATE_SUSPENDED = 2,
+    STATE_SUSPENDED_RUNNABLE = 3,
+    STATE_HELD = 4,
+    STATE_NOT_HELD_MASK = 11
+};
+
+enum BenchParams {
+    DATA_SIZE = 4,
+    COUNT = 1000,
+    EXPECTED_QUEUE_COUNT = 2322,
+    EXPECTED_HOLD_COUNT = 928
+};
+
+class Packet {
+public:
+    Packet* link;
+    int id;
+    int kind;
+    int a1;
+    int a2[4];
+
+    Packet(Packet* lnk, int pid, int pkind) : link(lnk), id(pid), kind(pkind), a1(0) {
+        for (int i = 0; i < DATA_SIZE; i++) {
+            a2[i] = 0;
+        }
+    }
+
+    Packet* addTo(Packet* queue) {
+        link = nullptr;
+        if (queue == nullptr) {
+            return this;
+        }
+        Packet* peek = queue;
+        Packet* next = peek->link;
+        while (next != nullptr) {
+            peek = next;
+            next = peek->link;
+        }
+        peek->link = this;
+        return queue;
+    }
+};
+
+class Scheduler;
+
+class Task {
+public:
+    Scheduler* sched;
+    Task(Scheduler* s) : sched(s) { }
+    virtual TaskControlBlock* run(Packet* packet) = 0;
+};
+
+class TaskControlBlock {
+public:
+    TaskControlBlock* link;
+    int id;
+    int priority;
+    Packet* queue;
+    Task* task;
+    int state;
+
+    TaskControlBlock(TaskControlBlock* lnk, int tid, int pri, Packet* q, Task* t)
+        : link(lnk), id(tid), priority(pri), queue(q), task(t) {
+        if (q == nullptr) {
+            state = STATE_SUSPENDED;
+        } else {
+            state = STATE_SUSPENDED_RUNNABLE;
+        }
+    }
+
+    void setRunning() { state = STATE_RUNNING; }
+    void markAsNotHeld() { state = state & STATE_NOT_HELD_MASK; }
+    void markAsHeld() { state = state | STATE_HELD; }
+    bool isHeldOrSuspended() {
+        return (state & STATE_HELD) != 0 || state == STATE_SUSPENDED;
+    }
+    void markAsSuspended() { state = state | STATE_SUSPENDED; }
+    void markAsRunnable() { state = state | STATE_RUNNABLE; }
+
+    TaskControlBlock* run() {
+        Packet* packet;
+        if (state == STATE_SUSPENDED_RUNNABLE) {
+            packet = queue;
+            queue = packet->link;
+            if (queue == nullptr) {
+                state = STATE_RUNNING;
+            } else {
+                state = STATE_RUNNABLE;
+            }
+        } else {
+            packet = nullptr;
+        }
+        return task->run(packet);
+    }
+
+    TaskControlBlock* checkPriorityAdd(TaskControlBlock* t, Packet* packet) {
+        if (queue == nullptr) {
+            queue = packet;
+            markAsRunnable();
+            if (priority > t->priority) {
+                return this;
+            }
+        } else {
+            queue = packet->addTo(queue);
+        }
+        return t;
+    }
+};
+
+class Scheduler {
+public:
+    int queueCount;
+    int holdCount;
+    TaskControlBlock* blocks[6];
+    TaskControlBlock* list;
+    TaskControlBlock* currentTcb;
+    int currentId;
+
+    Scheduler() : queueCount(0), holdCount(0), list(nullptr), currentTcb(nullptr), currentId(0) {
+        for (int i = 0; i < NUMBER_OF_IDS; i++) {
+            blocks[i] = nullptr;
+        }
+    }
+
+    void addTask(int id, int priority, Packet* queue, Task* task) {
+        currentTcb = new TaskControlBlock(list, id, priority, queue, task);
+        list = currentTcb;
+        blocks[id] = currentTcb;
+    }
+
+    void addRunningTask(int id, int priority, Packet* queue, Task* task) {
+        addTask(id, priority, queue, task);
+        currentTcb->setRunning();
+    }
+
+    void schedule() {
+        currentTcb = list;
+        while (currentTcb != nullptr) {
+            if (currentTcb->isHeldOrSuspended()) {
+                currentTcb = currentTcb->link;
+            } else {
+                currentId = currentTcb->id;
+                currentTcb = currentTcb->run();
+            }
+        }
+    }
+
+    TaskControlBlock* release(int id) {
+        TaskControlBlock* tcb = blocks[id];
+        if (tcb == nullptr) {
+            return tcb;
+        }
+        tcb->markAsNotHeld();
+        if (tcb->priority > currentTcb->priority) {
+            return tcb;
+        }
+        return currentTcb;
+    }
+
+    TaskControlBlock* holdCurrent() {
+        holdCount = holdCount + 1;
+        currentTcb->markAsHeld();
+        return currentTcb->link;
+    }
+
+    TaskControlBlock* suspendCurrent() {
+        currentTcb->markAsSuspended();
+        return currentTcb;
+    }
+
+    TaskControlBlock* queuePacket(Packet* packet) {
+        TaskControlBlock* t = blocks[packet->id];
+        if (t == nullptr) {
+            return t;
+        }
+        queueCount = queueCount + 1;
+        packet->link = nullptr;
+        packet->id = currentId;
+        return t->checkPriorityAdd(currentTcb, packet);
+    }
+};
+
+class IdleTask : public Task {
+public:
+    int v1;
+    int count;
+
+    IdleTask(Scheduler* s, int seed, int cnt) : Task(s), v1(seed), count(cnt) { }
+
+    virtual TaskControlBlock* run(Packet* packet) {
+        count = count - 1;
+        if (count == 0) {
+            return sched->holdCurrent();
+        }
+        if ((v1 & 1) == 0) {
+            v1 = v1 >> 1;
+            return sched->release(ID_DEVICE_A);
+        }
+        v1 = (v1 >> 1) ^ 53256;
+        return sched->release(ID_DEVICE_B);
+    }
+};
+
+class DeviceTask : public Task {
+public:
+    Packet* pending;
+
+    DeviceTask(Scheduler* s) : Task(s), pending(nullptr) { }
+
+    virtual TaskControlBlock* run(Packet* packet) {
+        if (packet == nullptr) {
+            if (pending == nullptr) {
+                return sched->suspendCurrent();
+            }
+            Packet* v = pending;
+            pending = nullptr;
+            return sched->queuePacket(v);
+        }
+        pending = packet;
+        return sched->holdCurrent();
+    }
+};
+
+class WorkerTask : public Task {
+public:
+    int v1;
+    int v2;
+
+    WorkerTask(Scheduler* s, int dest, int counter) : Task(s), v1(dest), v2(counter) { }
+
+    virtual TaskControlBlock* run(Packet* packet) {
+        if (packet == nullptr) {
+            return sched->suspendCurrent();
+        }
+        if (v1 == ID_HANDLER_A) {
+            v1 = ID_HANDLER_B;
+        } else {
+            v1 = ID_HANDLER_A;
+        }
+        packet->id = v1;
+        packet->a1 = 0;
+        for (int i = 0; i < DATA_SIZE; i++) {
+            v2 = v2 + 1;
+            if (v2 > 26) {
+                v2 = 1;
+            }
+            packet->a2[i] = v2;
+        }
+        return sched->queuePacket(packet);
+    }
+};
+
+class HandlerTask : public Task {
+public:
+    Packet* workQueue;
+    Packet* deviceQueue;
+
+    HandlerTask(Scheduler* s) : Task(s), workQueue(nullptr), deviceQueue(nullptr) { }
+
+    virtual TaskControlBlock* run(Packet* packet) {
+        if (packet != nullptr) {
+            if (packet->kind == KIND_WORK) {
+                workQueue = packet->addTo(workQueue);
+            } else {
+                deviceQueue = packet->addTo(deviceQueue);
+            }
+        }
+        if (workQueue != nullptr) {
+            int count = workQueue->a1;
+            if (count < DATA_SIZE) {
+                if (deviceQueue != nullptr) {
+                    Packet* v = deviceQueue;
+                    deviceQueue = deviceQueue->link;
+                    v->a1 = workQueue->a2[count];
+                    workQueue->a1 = count + 1;
+                    return sched->queuePacket(v);
+                }
+            } else {
+                Packet* v = workQueue;
+                workQueue = workQueue->link;
+                return sched->queuePacket(v);
+            }
+        }
+        return sched->suspendCurrent();
+    }
+};
+
+int main() {
+    Scheduler* scheduler = new Scheduler();
+    scheduler->addRunningTask(ID_IDLE, 0, nullptr, new IdleTask(scheduler, 1, COUNT));
+
+    Packet* queue = new Packet(nullptr, ID_WORKER, KIND_WORK);
+    queue = new Packet(queue, ID_WORKER, KIND_WORK);
+    scheduler->addTask(ID_WORKER, 1000, queue, new WorkerTask(scheduler, ID_HANDLER_A, 0));
+
+    queue = new Packet(nullptr, ID_DEVICE_A, KIND_DEVICE);
+    queue = new Packet(queue, ID_DEVICE_A, KIND_DEVICE);
+    queue = new Packet(queue, ID_DEVICE_A, KIND_DEVICE);
+    scheduler->addTask(ID_HANDLER_A, 2000, queue, new HandlerTask(scheduler));
+
+    queue = new Packet(nullptr, ID_DEVICE_B, KIND_DEVICE);
+    queue = new Packet(queue, ID_DEVICE_B, KIND_DEVICE);
+    queue = new Packet(queue, ID_DEVICE_B, KIND_DEVICE);
+    scheduler->addTask(ID_HANDLER_B, 3000, queue, new HandlerTask(scheduler));
+
+    scheduler->addTask(ID_DEVICE_A, 4000, nullptr, new DeviceTask(scheduler));
+    scheduler->addTask(ID_DEVICE_B, 5000, nullptr, new DeviceTask(scheduler));
+
+    scheduler->schedule();
+
+    print_str("richards: queueCount=");
+    print_int(scheduler->queueCount);
+    print_str("richards: holdCount=");
+    print_int(scheduler->holdCount);
+
+    if (scheduler->queueCount == EXPECTED_QUEUE_COUNT && scheduler->holdCount == EXPECTED_HOLD_COUNT) {
+        print_str("richards: OK\n");
+        return 0;
+    }
+    print_str("richards: FAILED\n");
+    return 1;
+}

@@ -1,0 +1,261 @@
+// simulate -- discrete-event simulation on top of a simulation library.
+// The application drives a two-resource queueing model through a
+// library offering far more than the model uses: utilization reports,
+// antithetic random streams, trace records, and queue diagnostics are
+// all unused entry points, and the members only they read are dead.
+// Events are allocated and freed continuously, so total object space is
+// much larger than the high-water mark, and the dead members sit in
+// singleton library objects, so the dead *object space* is tiny (the
+// paper measured 41 bytes out of 64,869).
+
+enum SimParams {
+    HORIZON = 4000,
+    ARRIVAL_GAP = 3,
+    SERVICE_TIME_A = 5,
+    SERVICE_TIME_B = 7
+};
+
+enum EventKind {
+    EV_ARRIVAL = 0,
+    EV_DEPART_A = 1,
+    EV_DEPART_B = 2
+};
+
+// ---------------------------------------------------------------- library
+
+class Event {
+public:
+    int time;
+    int kind;
+    int payload;
+    Event* next;
+
+    Event(int t, int k, int p) : time(t), kind(k), payload(p), next(nullptr) { }
+};
+
+class EventQueue {
+public:
+    Event* head;
+    int count;
+    int last_insert_scan; // dead: pure-write diagnostic, read only by diagnose()
+    int peak_count;       // dead: pure-write diagnostic, read only by diagnose()
+
+    EventQueue() : head(nullptr), count(0), last_insert_scan(0), peak_count(0) { }
+
+    void insert(Event* e) {
+        int scanned = 0;
+        if (head == nullptr || e->time < head->time) {
+            e->next = head;
+            head = e;
+        } else {
+            Event* p = head;
+            while (p->next != nullptr && p->next->time <= e->time) {
+                p = p->next;
+                scanned = scanned + 1;
+            }
+            e->next = p->next;
+            p->next = e;
+        }
+        count = count + 1;
+        last_insert_scan = scanned;
+        peak_count = count;
+    }
+
+    Event* pop() {
+        Event* e = head;
+        head = e->next;
+        count = count - 1;
+        return e;
+    }
+
+    bool isEmpty() { return head == nullptr; }
+
+    // Unused library functionality.
+    void diagnose() {
+        print_int(last_insert_scan);
+        print_int(peak_count);
+    }
+};
+
+class RandomStream {
+public:
+    int seed;
+    int stream_id;   // dead: read only by reseed(), never called
+    int antithetic;  // dead: variance-reduction mode never enabled
+
+    RandomStream(int s, int id) : seed(s), stream_id(id), antithetic(0) { }
+
+    int next(int bound) {
+        seed = (seed * 1103515245 + 12345) & 2147483647;
+        return seed % bound;
+    }
+
+    // Unused library functionality.
+    void reseed() {
+        seed = stream_id * 2654435761 + antithetic;
+    }
+};
+
+class Resource {
+public:
+    int busy;
+    int queued;
+    int completed;
+    int busy_ticks;      // dead: pure-write, read only by utilization()
+
+    Resource() : busy(0), queued(0), completed(0), busy_ticks(0) { }
+
+    bool acquire(int now, int service) {
+        if (busy != 0) {
+            queued = queued + 1;
+            return false;
+        }
+        busy = 1;
+        busy_ticks = now + service;
+        return true;
+    }
+
+    void release() {
+        completed = completed + 1;
+        if (queued > 0) {
+            queued = queued - 1;
+        } else {
+            busy = 0;
+        }
+    }
+
+    // Unused library functionality.
+    int utilization(int now) {
+        if (now == 0) {
+            return 0;
+        }
+        return busy_ticks * 100 / now;
+    }
+};
+
+class TraceBuffer {
+public:
+    int records;
+    int last_time;   // dead: pure-write, replay() is never called
+    int last_kind;   // dead: pure-write, replay() is never called
+    int dropped;     // dead: overflow handling never triggers a read
+
+    TraceBuffer() : records(0), last_time(0), last_kind(0), dropped(0) { }
+
+    void record(int time, int kind) {
+        last_time = time;
+        last_kind = kind;
+        dropped = kind - time;
+        records = records + 1;
+    }
+
+    // Unused library functionality.
+    void replay() {
+        print_int(last_time);
+        print_int(last_kind);
+        print_int(dropped);
+    }
+};
+
+// ------------------------------------------------------------- application
+
+class JobRecord {
+public:
+    int arrived;
+    int job_id;
+    JobRecord* next;
+
+    JobRecord(int t, int id, JobRecord* n) : arrived(t), job_id(id), next(n) { }
+};
+
+class Simulation {
+public:
+    EventQueue* queue;
+    RandomStream* rng;
+    Resource* station_a;
+    Resource* station_b;
+    TraceBuffer* trace;
+    JobRecord* journal;
+    int clock;
+    int arrivals;
+    int departures;
+
+    Simulation() : journal(nullptr), clock(0), arrivals(0), departures(0) {
+        queue = new EventQueue();
+        rng = new RandomStream(42, 1);
+        station_a = new Resource();
+        station_b = new Resource();
+        trace = new TraceBuffer();
+    }
+
+    void schedule(int delay, int kind, int payload) {
+        queue->insert(new Event(clock + delay, kind, payload));
+    }
+
+    void run() {
+        schedule(0, EV_ARRIVAL, 0);
+        while (!queue->isEmpty()) {
+            Event* e = queue->pop();
+            if (e->time > HORIZON) {
+                delete e;
+                break;
+            }
+            clock = e->time;
+            trace->record(clock, e->kind);
+            if (e->kind == EV_ARRIVAL) {
+                arrivals = arrivals + 1;
+                journal = new JobRecord(clock, arrivals, journal);
+                int jitter = rng->next(ARRIVAL_GAP);
+                schedule(ARRIVAL_GAP + jitter, EV_ARRIVAL, arrivals);
+                if (station_a->acquire(clock, SERVICE_TIME_A)) {
+                    schedule(SERVICE_TIME_A, EV_DEPART_A, e->payload);
+                }
+            } else if (e->kind == EV_DEPART_A) {
+                station_a->release();
+                if (station_a->queued >= 0 && station_a->busy != 0) {
+                    schedule(SERVICE_TIME_A, EV_DEPART_A, e->payload + 1);
+                }
+                if (station_b->acquire(clock, SERVICE_TIME_B)) {
+                    schedule(SERVICE_TIME_B, EV_DEPART_B, e->payload);
+                }
+            } else {
+                station_b->release();
+                departures = departures + 1;
+                if (station_b->busy != 0) {
+                    schedule(SERVICE_TIME_B, EV_DEPART_B, e->payload + 1);
+                }
+            }
+            delete e;
+        }
+        while (!queue->isEmpty()) {
+            Event* leftover = queue->pop();
+            delete leftover;
+        }
+    }
+};
+
+int main() {
+    Simulation* sim = new Simulation();
+    sim->run();
+    print_str("simulate: clock=");
+    print_int(sim->clock);
+    print_str("simulate: arrivals=");
+    print_int(sim->arrivals);
+    print_str("simulate: completed_a=");
+    print_int(sim->station_a->completed);
+    print_str("simulate: departures=");
+    print_int(sim->departures);
+    int journal_len = 0;
+    int journal_sum = 0;
+    JobRecord* r = sim->journal;
+    while (r != nullptr) {
+        journal_len = journal_len + 1;
+        journal_sum = journal_sum + r->arrived % 11 + r->job_id % 7;
+        r = r->next;
+    }
+    print_str("simulate: journal=");
+    print_int(journal_len);
+    print_str("simulate: journal_sum=");
+    print_int(journal_sum);
+    return 0;
+}

@@ -1,0 +1,248 @@
+// taldict -- Taligent dictionary benchmark stand-in.
+// A dictionary micro-benchmark written against a general-purpose
+// collections library. The application exercises only part of the
+// library's functionality; members that are only read by *unused*
+// library entry points (rehashing, iteration progress, statistics
+// reporting) are dead — the paper's "unused functionality in class
+// libraries" mechanism. The classes that carry dead members are
+// instantiated once, while the frequently-allocated string and entry
+// classes are fully live, so the static dead percentage is the highest
+// of the suite while the dead *object space* stays tiny (the paper
+// measured 36 dead bytes out of 7,080).
+
+enum DictParams {
+    BUCKET_COUNT = 16,
+    WORKLOAD = 64
+};
+
+// ---------------------------------------------------------------- library
+
+class LibString {
+public:
+    int hash_code;
+    int length;
+    int encoding;
+    char first_char;
+
+    LibString(int seed, int len) : hash_code(0), length(len), encoding(1) {
+        int h = seed;
+        for (int i = 0; i < len; i++) {
+            h = h * 31 + i;
+        }
+        hash_code = h;
+        first_char = (char)(97 + seed % 26);
+    }
+
+    int hash() { return hash_code; }
+
+    bool equals(LibString* other) {
+        return hash_code == other->hash_code && length == other->length
+            && encoding == other->encoding && first_char == other->first_char;
+    }
+};
+
+class DictEntry {
+public:
+    LibString* key;
+    int value;
+    int insert_order;
+    DictEntry* next;
+
+    DictEntry(LibString* k, int v, int ord, DictEntry* n)
+        : key(k), value(v), insert_order(ord), next(n) { }
+};
+
+class HashPolicy {
+public:
+    int load_factor_pct;    // dead: only read by Dictionary::rehash()
+    int growth_numerator;   // dead: only read by Dictionary::rehash()
+    int growth_denominator; // dead: only read by Dictionary::rehash()
+    int probe_strategy;     // dead: linear-probing variant never enabled
+
+    HashPolicy() : load_factor_pct(75), growth_numerator(2), growth_denominator(1), probe_strategy(0) { }
+};
+
+class DictStats {
+public:
+    int lookups;
+    int hits;
+    int misses;
+    int probes;
+    int last_chain_len; // dead: pure-write bookkeeping, read only by report()
+    int last_bucket;    // dead: pure-write bookkeeping, read only by report()
+    int resize_count;   // dead: written by rehash(), which is never called
+
+    DictStats() : lookups(0), hits(0), misses(0), probes(0), last_chain_len(0), last_bucket(0), resize_count(0) { }
+
+    // Unused library functionality: never called by the application.
+    void report() {
+        print_int(last_chain_len);
+        print_int(last_bucket);
+        print_int(resize_count);
+    }
+};
+
+class Dictionary {
+public:
+    DictEntry* buckets[16];
+    int capacity;
+    int count;
+    HashPolicy* policy; // dead: only read by rehash(), which is never called
+    DictStats* stats;
+
+    Dictionary(HashPolicy* p, DictStats* s) : capacity(BUCKET_COUNT), count(0), policy(p), stats(s) {
+        for (int i = 0; i < BUCKET_COUNT; i++) {
+            buckets[i] = nullptr;
+        }
+    }
+
+    int bucket_of(LibString* key) {
+        int h = key->hash() % capacity;
+        if (h < 0) {
+            h = h + capacity;
+        }
+        return h;
+    }
+
+    void insert(LibString* key, int value) {
+        int b = bucket_of(key);
+        int chain = 0;
+        DictEntry* e = buckets[b];
+        while (e != nullptr) {
+            chain = chain + 1;
+            e = e->next;
+        }
+        stats->last_chain_len = chain;
+        stats->last_bucket = b;
+        buckets[b] = new DictEntry(key, value, count, buckets[b]);
+        count = count + 1;
+    }
+
+    int lookup(LibString* key, int missing) {
+        stats->lookups = stats->lookups + 1;
+        DictEntry* e = buckets[bucket_of(key)];
+        while (e != nullptr) {
+            stats->probes = stats->probes + 1;
+            if (e->key->equals(key)) {
+                stats->hits = stats->hits + 1;
+                return e->value;
+            }
+            e = e->next;
+        }
+        stats->misses = stats->misses + 1;
+        return missing;
+    }
+
+    // Unused library functionality: the benchmark never grows past the
+    // initial bucket array, so rehash() is unreachable.
+    void rehash() {
+        int threshold = capacity * policy->load_factor_pct / 100;
+        if (count > threshold) {
+            int target = count * policy->growth_numerator / policy->growth_denominator;
+            stats->resize_count = stats->resize_count + 1;
+            print_int(target + policy->probe_strategy);
+        }
+    }
+};
+
+class DictIterator {
+public:
+    Dictionary* dict;
+    int bucket;
+    DictEntry* entry;
+    int last_order;  // dead: pure-write, read only by progress()
+
+    DictIterator(Dictionary* d) : dict(d), bucket(0), entry(nullptr), last_order(0) {
+        advance_bucket();
+    }
+
+    void advance_bucket() {
+        while (bucket < BUCKET_COUNT && dict->buckets[bucket] == nullptr) {
+            bucket = bucket + 1;
+        }
+        if (bucket < BUCKET_COUNT) {
+            entry = dict->buckets[bucket];
+        }
+    }
+
+    bool has_next() { return entry != nullptr; }
+
+    DictEntry* next() {
+        DictEntry* current = entry;
+        last_order = current->insert_order;
+        entry = entry->next;
+        if (entry == nullptr) {
+            bucket = bucket + 1;
+            advance_bucket();
+        }
+        return current;
+    }
+
+    // Unused library functionality.
+    int progress() {
+        return last_order * 100 / dict->count;
+    }
+};
+
+// ------------------------------------------------------------- application
+
+class WordSource {
+public:
+    int next_seed;
+    int step;
+    int min_len;
+    int max_len;
+    int emitted;
+
+    WordSource(int start, int s) : next_seed(start), step(s), min_len(4), max_len(12), emitted(0) { }
+
+    LibString* next_word() {
+        int len = min_len + next_seed % (max_len - min_len + 1);
+        LibString* w = new LibString(next_seed, len);
+        next_seed = next_seed + step;
+        emitted = emitted + 1;
+        return w;
+    }
+};
+
+int main() {
+    HashPolicy* policy = new HashPolicy();
+    DictStats* stats = new DictStats();
+    Dictionary* dict = new Dictionary(policy, stats);
+
+    WordSource* filler = new WordSource(0, 1);
+    for (int i = 0; i < WORKLOAD; i++) {
+        dict->insert(filler->next_word(), i * 3);
+    }
+
+    WordSource* prober = new WordSource(0, 1);
+    int total = 0;
+    for (int i = 0; i < WORKLOAD; i++) {
+        LibString* probe = prober->next_word();
+        total = total + dict->lookup(probe, -1);
+        delete probe;
+    }
+
+    int visited = 0;
+    DictIterator* it = new DictIterator(dict);
+    while (it->has_next()) {
+        DictEntry* e = it->next();
+        visited = visited + 1;
+        total = total + (e->value + e->insert_order) % 7;
+    }
+    delete it;
+
+    print_str("taldict: entries=");
+    print_int(dict->count);
+    print_str("taldict: visited=");
+    print_int(visited);
+    print_str("taldict: emitted=");
+    print_int(filler->emitted + prober->emitted);
+    print_str("taldict: hits=");
+    print_int(stats->hits - stats->misses);
+    print_str("taldict: probes=");
+    print_int(stats->probes - stats->lookups);
+    print_str("taldict: checksum=");
+    print_int(total);
+    return 0;
+}

@@ -1,0 +1,696 @@
+//! # ddm-callgraph
+//!
+//! Call-graph construction for the dead-data-member study.
+//!
+//! The paper builds its call graph with a variant of the Program
+//! Virtual-call Graph algorithm (Bacon & Sweeney, OOPSLA'96) and notes
+//! that "the accuracy of the call graph may have an impact on the
+//! precision of the analysis" (§3). This crate provides three builders of
+//! increasing precision, used for that ablation:
+//!
+//! * [`Algorithm::Everything`] — every function with a body is reachable
+//!   and every class instantiated (the most conservative baseline);
+//! * [`Algorithm::Cha`] — Class Hierarchy Analysis: a virtual call through
+//!   static class `S` may reach the override in any subclass of `S`;
+//! * [`Algorithm::Rta`] — Rapid Type Analysis: like CHA, but only classes
+//!   observed to be instantiated in reachable code count as dispatch
+//!   receivers (the paper's PVG is an RTA-family algorithm).
+//!
+//! All three honour the paper's conservatism rules for separately-compiled
+//! libraries (§3.3): functions whose address is taken in reachable code
+//! are reachable, and application overrides of virtual methods declared in
+//! user-designated *library classes* are reachable (callbacks).
+
+pub mod pta;
+
+use ddm_hierarchy::{
+    resolve_ctor, walk_function, walk_globals, CallEvent, CallTarget, ClassId, DeleteEvent,
+    EventVisitor, FuncId, InstantiationEvent, MemberLookup, Program, TypeError,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Which call-graph construction algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// All functions reachable, all classes instantiated.
+    Everything,
+    /// Class Hierarchy Analysis.
+    Cha,
+    /// Rapid Type Analysis (default; stands in for the paper's PVG).
+    #[default]
+    Rta,
+    /// RTA plus the §3.1 intraprocedural points-to refinement: virtual
+    /// call sites whose receiver is an analysable local pointer dispatch
+    /// only to the classes that pointer can actually reference.
+    Pta,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Algorithm::Everything => "everything",
+            Algorithm::Cha => "CHA",
+            Algorithm::Rta => "RTA",
+            Algorithm::Pta => "PTA",
+        })
+    }
+}
+
+/// Options controlling call-graph construction.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraphOptions {
+    /// Which algorithm to use.
+    pub algorithm: Algorithm,
+    /// Classes declared in (simulated) libraries: application overrides of
+    /// their virtual methods become call-graph roots, because library code
+    /// may call back into them.
+    pub library_classes: HashSet<ClassId>,
+}
+
+/// The computed call graph.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    algorithm: Algorithm,
+    reachable: BTreeSet<FuncId>,
+    instantiated: BTreeSet<ClassId>,
+    edges: BTreeMap<FuncId, BTreeSet<FuncId>>,
+    address_taken: BTreeSet<FuncId>,
+}
+
+impl CallGraph {
+    /// Builds a call graph for `program` using `options`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TypeError`]s from walking reachable bodies.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ddm_callgraph::{CallGraph, CallGraphOptions};
+    /// use ddm_hierarchy::{Program, MemberLookup};
+    ///
+    /// let tu = ddm_cppfront::parse(
+    ///     "int helper() { return 1; }\n\
+    ///      int unused() { return 2; }\n\
+    ///      int main() { return helper(); }",
+    /// ).unwrap();
+    /// let program = Program::build(&tu).unwrap();
+    /// let lookup = MemberLookup::new(&program);
+    /// let graph = CallGraph::build(&program, &lookup, &CallGraphOptions::default()).unwrap();
+    /// assert!(graph.is_reachable(program.free_function("helper").unwrap()));
+    /// assert!(!graph.is_reachable(program.free_function("unused").unwrap()));
+    /// ```
+    pub fn build(
+        program: &Program,
+        lookup: &MemberLookup<'_>,
+        options: &CallGraphOptions,
+    ) -> Result<CallGraph, TypeError> {
+        match options.algorithm {
+            Algorithm::Everything => Ok(Self::build_everything(program)),
+            Algorithm::Cha | Algorithm::Rta | Algorithm::Pta => {
+                Self::build_propagating(program, lookup, options)
+            }
+        }
+    }
+
+    fn build_everything(program: &Program) -> CallGraph {
+        // Maximal: every function (even body-less declarations, which the
+        // propagating builders may also mark as dispatch targets).
+        let reachable = program.functions().map(|(id, _)| id).collect();
+        let instantiated = program.classes().map(|(id, _)| id).collect();
+        CallGraph {
+            algorithm: Algorithm::Everything,
+            reachable,
+            instantiated,
+            edges: BTreeMap::new(),
+            address_taken: BTreeSet::new(),
+        }
+    }
+
+    fn build_propagating(
+        program: &Program,
+        lookup: &MemberLookup<'_>,
+        options: &CallGraphOptions,
+    ) -> Result<CallGraph, TypeError> {
+        let mut state = Builder {
+            program,
+            lookup,
+            cha: options.algorithm == Algorithm::Cha,
+            pta: options.algorithm == Algorithm::Pta,
+            pointee_cache: HashMap::new(),
+            reachable: BTreeSet::new(),
+            instantiated: BTreeSet::new(),
+            edges: BTreeMap::new(),
+            address_taken: BTreeSet::new(),
+            pending_fp_calls: BTreeSet::new(),
+        };
+
+        // Roots: main, plus application overrides of library virtuals.
+        if let Some(main) = program.main_function() {
+            state.reachable.insert(main);
+        }
+        for (fid, f) in program.functions() {
+            let Some(class) = f.class else { continue };
+            if options.library_classes.contains(&class) {
+                continue;
+            }
+            if f.is_virtual
+                && f.body.is_some()
+                && program
+                    .ancestors_of(class)
+                    .iter()
+                    .any(|a| options.library_classes.contains(a))
+            {
+                state.reachable.insert(fid);
+            }
+        }
+
+        // Global initializers always run.
+        {
+            let mut visitor = EventSink {
+                caller: None,
+                state: &mut state,
+            };
+            walk_globals(program, lookup, &mut visitor)?;
+        }
+
+        // Iterate to a fixpoint: walking a function may make more functions
+        // reachable or more classes instantiated, which in turn widens
+        // virtual dispatch at call sites inside already-walked functions.
+        loop {
+            let before = (
+                state.reachable.len(),
+                state.instantiated.len(),
+                state.edge_total(),
+            );
+            let work: Vec<FuncId> = state.reachable.iter().copied().collect();
+            for fid in work {
+                let mut visitor = EventSink {
+                    caller: Some(fid),
+                    state: &mut state,
+                };
+                walk_function(program, lookup, fid, &mut visitor)?;
+            }
+            state.resolve_function_pointer_calls();
+            if (
+                state.reachable.len(),
+                state.instantiated.len(),
+                state.edge_total(),
+            ) == before
+            {
+                break;
+            }
+        }
+
+        Ok(CallGraph {
+            algorithm: options.algorithm,
+            reachable: state.reachable,
+            instantiated: state.instantiated,
+            edges: state.edges,
+            address_taken: state.address_taken,
+        })
+    }
+
+    /// The algorithm that produced this graph.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Whether `func` is reachable from the roots.
+    pub fn is_reachable(&self, func: FuncId) -> bool {
+        self.reachable.contains(&func)
+    }
+
+    /// The reachable functions, in id order.
+    pub fn reachable(&self) -> impl ExactSizeIterator<Item = FuncId> + '_ {
+        self.reachable.iter().copied()
+    }
+
+    /// Number of reachable functions.
+    pub fn reachable_count(&self) -> usize {
+        self.reachable.len()
+    }
+
+    /// Classes considered instantiated (for `Everything` and `Cha`, all of
+    /// them; for `Rta`, the fixpoint set).
+    pub fn instantiated(&self) -> impl ExactSizeIterator<Item = ClassId> + '_ {
+        self.instantiated.iter().copied()
+    }
+
+    /// Whether `class` is in the instantiated set.
+    pub fn is_instantiated(&self, class: ClassId) -> bool {
+        self.instantiated.contains(&class)
+    }
+
+    /// Resolved direct call edges from `func`. Virtual call sites
+    /// contribute one edge per possible target.
+    pub fn callees(&self, func: FuncId) -> impl Iterator<Item = FuncId> + '_ {
+        self.edges.get(&func).into_iter().flatten().copied()
+    }
+
+    /// Total number of call edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|s| s.len()).sum()
+    }
+
+    /// Functions whose address is taken in reachable code.
+    pub fn address_taken(&self) -> impl Iterator<Item = FuncId> + '_ {
+        self.address_taken.iter().copied()
+    }
+}
+
+struct Builder<'p> {
+    program: &'p Program,
+    lookup: &'p MemberLookup<'p>,
+    cha: bool,
+    pta: bool,
+    /// Memoized points-to results per (function, receiver variable).
+    pointee_cache: HashMap<(FuncId, String), Option<BTreeSet<ClassId>>>,
+    reachable: BTreeSet<FuncId>,
+    instantiated: BTreeSet<ClassId>,
+    edges: BTreeMap<FuncId, BTreeSet<FuncId>>,
+    address_taken: BTreeSet<FuncId>,
+    /// Callers that contain indirect calls; resolved against the
+    /// address-taken set after each sweep.
+    pending_fp_calls: BTreeSet<FuncId>,
+}
+
+impl<'p> Builder<'p> {
+    fn edge_total(&self) -> usize {
+        self.edges.values().map(|s| s.len()).sum()
+    }
+
+    fn mark_reachable(&mut self, func: FuncId) {
+        self.reachable.insert(func);
+    }
+
+    fn add_edge(&mut self, caller: Option<FuncId>, callee: FuncId) {
+        if let Some(c) = caller {
+            self.edges.entry(c).or_default().insert(callee);
+        }
+        self.mark_reachable(callee);
+    }
+
+    /// Marks `class` (and everything it constructs implicitly: bases and
+    /// by-value member classes) as instantiated, making their default
+    /// constructors and destructors reachable.
+    fn instantiate(&mut self, caller: Option<FuncId>, class: ClassId, ctor: Option<FuncId>) {
+        if let Some(c) = ctor {
+            self.add_edge(caller, c);
+        }
+        let mut stack = vec![class];
+        while let Some(c) = stack.pop() {
+            if !self.instantiated.insert(c) {
+                continue;
+            }
+            // The destructor of anything instantiated may run.
+            if let Some(d) = self.program.destructor(c) {
+                self.mark_reachable(d);
+            }
+            let info = self.program.class(c);
+            for b in &info.bases {
+                if let Some(dc) = resolve_ctor(self.program, b.id, 0) {
+                    self.mark_reachable(dc);
+                }
+                stack.push(b.id);
+            }
+            for m in &info.members {
+                if let Some(name) = ddm_hierarchy::by_value_class(&m.ty) {
+                    if let Some(id) = self.program.class_by_name(name) {
+                        if let Some(dc) = resolve_ctor(self.program, id, 0) {
+                            self.mark_reachable(dc);
+                        }
+                        stack.push(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The candidate dynamic receiver classes for a virtual call whose
+    /// static receiver class is `receiver`.
+    fn dispatch_candidates(&self, receiver: ClassId) -> Vec<ClassId> {
+        self.program
+            .subclasses_of(receiver)
+            .into_iter()
+            .filter(|c| self.cha || self.instantiated.contains(c))
+            .collect()
+    }
+
+    fn virtual_targets(&self, receiver: ClassId, name: &str) -> BTreeSet<FuncId> {
+        let mut out = BTreeSet::new();
+        for c in self.dispatch_candidates(receiver) {
+            if let Some(f) = self.lookup.resolve_virtual(c, name) {
+                out.insert(f);
+            }
+        }
+        out
+    }
+
+    /// Cached §3.1 points-to query for `var` in `func`.
+    fn pointees_of(&mut self, func: FuncId, var: &str) -> Option<BTreeSet<ClassId>> {
+        let key = (func, var.to_string());
+        if let Some(cached) = self.pointee_cache.get(&key) {
+            return cached.clone();
+        }
+        let result = pta::local_pointees(self.program, func, var);
+        self.pointee_cache.insert(key, result.clone());
+        result
+    }
+
+    fn resolve_function_pointer_calls(&mut self) {
+        // Any address-taken function may be the target of any indirect
+        // call (the paper's conservative treatment of function pointers).
+        let callers: Vec<FuncId> = self.pending_fp_calls.iter().copied().collect();
+        let targets: Vec<FuncId> = self.address_taken.iter().copied().collect();
+        for caller in callers {
+            for &t in &targets {
+                self.add_edge(Some(caller), t);
+            }
+        }
+    }
+}
+
+struct EventSink<'a, 'p> {
+    caller: Option<FuncId>,
+    state: &'a mut Builder<'p>,
+}
+
+impl EventVisitor for EventSink<'_, '_> {
+    fn call(&mut self, ev: &CallEvent) {
+        match &ev.target {
+            CallTarget::Free(f) => self.state.add_edge(self.caller, *f),
+            CallTarget::Builtin(_) => {}
+            CallTarget::Method {
+                func,
+                receiver_class,
+                is_virtual_dispatch,
+                receiver_var,
+            } => {
+                if *is_virtual_dispatch {
+                    let name = self.state.program.function(*func).name.clone();
+                    // §3.1 refinement: a points-to set for the receiver
+                    // variable narrows dispatch to the classes it can
+                    // actually reference.
+                    let refined = match (self.state.pta, receiver_var, self.caller) {
+                        (true, Some(var), Some(caller)) => self.state.pointees_of(caller, var),
+                        _ => None,
+                    };
+                    let targets = match refined {
+                        Some(classes) => {
+                            let mut out = BTreeSet::new();
+                            for c in classes {
+                                if let Some(f) = self.state.lookup.resolve_virtual(c, &name) {
+                                    out.insert(f);
+                                }
+                            }
+                            out
+                        }
+                        None => self.state.virtual_targets(*receiver_class, &name),
+                    };
+                    if targets.is_empty() {
+                        // No receiver established yet (or a null-only
+                        // pointer): keep the static declaration so a later
+                        // sweep can widen it.
+                        self.state.add_edge(self.caller, *func);
+                    }
+                    for t in targets {
+                        self.state.add_edge(self.caller, t);
+                    }
+                } else {
+                    self.state.add_edge(self.caller, *func);
+                }
+            }
+            CallTarget::FunctionPointer => {
+                if let Some(c) = self.caller {
+                    self.state.pending_fp_calls.insert(c);
+                }
+            }
+        }
+    }
+
+    fn address_of_function(&mut self, func: FuncId, _span: ddm_cppfront::Span) {
+        // "If the address of a function f is taken in reachable code, we
+        // assume f to be reachable."
+        self.state.address_taken.insert(func);
+        self.state.mark_reachable(func);
+    }
+
+    fn instantiation(&mut self, ev: &InstantiationEvent) {
+        self.state.instantiate(self.caller, ev.class, ev.ctor);
+    }
+
+    fn delete_of(&mut self, ev: &DeleteEvent) {
+        let Some(class) = ev.pointee_class else {
+            return;
+        };
+        if let Some(dtor) = self.state.program.destructor(class) {
+            if self.state.program.function(dtor).is_virtual {
+                for c in self.state.dispatch_candidates(class) {
+                    if let Some(d) = self.state.program.destructor(c) {
+                        self.state.add_edge(self.caller, d);
+                    }
+                }
+            }
+            self.state.add_edge(self.caller, dtor);
+        }
+        // Destructors of base subobjects run too.
+        for a in self.state.program.ancestors_of(class) {
+            if let Some(d) = self.state.program.destructor(a) {
+                self.state.add_edge(self.caller, d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddm_cppfront::parse;
+
+    fn graph(src: &str, algorithm: Algorithm) -> (Program, CallGraph) {
+        let tu = parse(src).expect("parse");
+        let p = Program::build(&tu).expect("sema");
+        let g = {
+            let lk = MemberLookup::new(&p);
+            CallGraph::build(
+                &p,
+                &lk,
+                &CallGraphOptions {
+                    algorithm,
+                    ..Default::default()
+                },
+            )
+            .expect("callgraph")
+        };
+        (p, g)
+    }
+
+    fn method(p: &Program, class: &str, name: &str) -> FuncId {
+        p.direct_method(p.class_by_name(class).unwrap(), name)
+            .unwrap()
+    }
+
+    #[test]
+    fn unreachable_free_function_excluded() {
+        let (p, g) = graph(
+            "int used() { return 1; } int dead() { return 2; } int main() { return used(); }",
+            Algorithm::Rta,
+        );
+        assert!(g.is_reachable(p.free_function("used").unwrap()));
+        assert!(!g.is_reachable(p.free_function("dead").unwrap()));
+        assert!(g.is_reachable(p.main_function().unwrap()));
+    }
+
+    #[test]
+    fn transitive_calls_are_reachable() {
+        let (p, g) = graph(
+            "int c() { return 3; } int b() { return c(); } int a() { return b(); }\n\
+             int main() { return a(); }",
+            Algorithm::Rta,
+        );
+        for name in ["a", "b", "c"] {
+            assert!(g.is_reachable(p.free_function(name).unwrap()), "{name}");
+        }
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn everything_marks_all_bodies() {
+        let (p, g) = graph(
+            "class Z { public: int z; }; int dead() { return 2; } int main() { return 0; }",
+            Algorithm::Everything,
+        );
+        assert!(g.is_reachable(p.free_function("dead").unwrap()));
+        assert_eq!(g.algorithm(), Algorithm::Everything);
+        assert!(g.is_instantiated(p.class_by_name("Z").unwrap()));
+    }
+
+    const VIRT: &str = "class A { public: virtual int f() { return 0; } };\n\
+         class B : public A { public: virtual int f() { return 1; } };\n\
+         class C : public A { public: virtual int f() { return 2; } };\n";
+
+    #[test]
+    fn rta_prunes_uninstantiated_receivers() {
+        let src = format!("{VIRT}int main() {{ B b; A* ap = &b; return ap->f(); }}");
+        let (p, g) = graph(&src, Algorithm::Rta);
+        assert!(g.is_reachable(method(&p, "B", "f")));
+        assert!(
+            !g.is_reachable(method(&p, "C", "f")),
+            "C is never instantiated; RTA must prune C::f"
+        );
+        assert!(!g.is_instantiated(p.class_by_name("C").unwrap()));
+    }
+
+    #[test]
+    fn cha_keeps_all_subclass_receivers() {
+        let src = format!("{VIRT}int main() {{ B b; A* ap = &b; return ap->f(); }}");
+        let (p, g) = graph(&src, Algorithm::Cha);
+        assert!(g.is_reachable(method(&p, "B", "f")));
+        assert!(
+            g.is_reachable(method(&p, "C", "f")),
+            "CHA keeps every subclass override"
+        );
+    }
+
+    #[test]
+    fn figure1_call_graph_matches_paper() {
+        // §3.1: "the call graph consists of the methods A::f, B::f, and
+        // C::f in addition to main" (all three classes are instantiated).
+        let src = "
+            class N { public: int mn1; int mn2; };
+            class A { public: virtual int f() { return ma1; } int ma1; int ma2; int ma3; };
+            class B : public A { public: virtual int f() { return mb1; } int mb1; N mb2; int mb3; int mb4; };
+            class C : public A { public: virtual int f() { return mc1; } int mc1; };
+            int foo(int* x) { return (*x) + 1; }
+            int main() {
+                A a; B b; C c; A* ap;
+                a.ma3 = b.mb3 + 1;
+                int i = 10;
+                if (i < 20) { ap = &a; } else { ap = &b; }
+                return ap->f() + b.mb2.mn1 + foo(&b.mb4);
+            }";
+        let (p, g) = graph(src, Algorithm::Rta);
+        assert!(g.is_reachable(method(&p, "A", "f")));
+        assert!(g.is_reachable(method(&p, "B", "f")));
+        assert!(g.is_reachable(method(&p, "C", "f")));
+        assert!(g.is_reachable(p.free_function("foo").unwrap()));
+        assert_eq!(g.reachable_count(), 5);
+    }
+
+    #[test]
+    fn instantiation_closure_covers_bases_and_members() {
+        let (p, g) = graph(
+            "class Base { public: Base() { } ~Base() { } };\n\
+             class Part { public: Part() { } };\n\
+             class Whole : public Base { public: Part part; Whole() { } };\n\
+             int main() { Whole w; return 0; }",
+            Algorithm::Rta,
+        );
+        for name in ["Base", "Part", "Whole"] {
+            assert!(g.is_instantiated(p.class_by_name(name).unwrap()), "{name}");
+        }
+        let base = p.class_by_name("Base").unwrap();
+        assert!(g.is_reachable(p.constructors(base)[0]));
+        assert!(g.is_reachable(p.destructor(base).unwrap()));
+    }
+
+    #[test]
+    fn address_taken_functions_feed_indirect_calls() {
+        let (p, g) = graph(
+            "int f1() { return 1; } int f2() { return 2; } int f3() { return 3; }\n\
+             int main() { int (*fp)() = f1; int (*fp2)() = f2; return fp(); }",
+            Algorithm::Rta,
+        );
+        assert!(g.is_reachable(p.free_function("f1").unwrap()));
+        assert!(
+            g.is_reachable(p.free_function("f2").unwrap()),
+            "address-taken functions are assumed reachable"
+        );
+        assert!(!g.is_reachable(p.free_function("f3").unwrap()));
+        assert_eq!(g.address_taken().count(), 2);
+    }
+
+    #[test]
+    fn library_overrides_are_roots() {
+        let src = "class Widget { public: virtual void on_click(); int id; };\n\
+                   class MyButton : public Widget { public: virtual void on_click() { count = count + 1; } int count; };\n\
+                   int main() { MyButton b; return 0; }";
+        let tu = parse(src).unwrap();
+        let p = Program::build(&tu).unwrap();
+        let lk = MemberLookup::new(&p);
+        let widget = p.class_by_name("Widget").unwrap();
+        let with_lib = CallGraph::build(
+            &p,
+            &lk,
+            &CallGraphOptions {
+                algorithm: Algorithm::Rta,
+                library_classes: [widget].into_iter().collect(),
+            },
+        )
+        .unwrap();
+        let on_click = p
+            .direct_method(p.class_by_name("MyButton").unwrap(), "on_click")
+            .unwrap();
+        assert!(
+            with_lib.is_reachable(on_click),
+            "library callbacks must be call-graph roots"
+        );
+        let without = CallGraph::build(&p, &lk, &CallGraphOptions::default()).unwrap();
+        assert!(!without.is_reachable(on_click));
+    }
+
+    #[test]
+    fn delete_reaches_virtual_destructors() {
+        let (p, g) = graph(
+            "class A { public: virtual ~A() { } };\n\
+             class B : public A { public: ~B() { } };\n\
+             int main() { A* p = new B(); delete p; return 0; }",
+            Algorithm::Rta,
+        );
+        let b = p.class_by_name("B").unwrap();
+        assert!(g.is_reachable(p.destructor(b).unwrap()));
+        let a = p.class_by_name("A").unwrap();
+        assert!(g.is_reachable(p.destructor(a).unwrap()));
+    }
+
+    #[test]
+    fn rta_ignores_instantiation_in_unreachable_code() {
+        let (p, g) = graph(
+            "class OnlyDead { public: OnlyDead() { } };\n\
+             void never() { OnlyDead x; }\n\
+             int main() { return 0; }",
+            Algorithm::Rta,
+        );
+        assert!(!g.is_instantiated(p.class_by_name("OnlyDead").unwrap()));
+        assert!(!g.is_reachable(p.free_function("never").unwrap()));
+    }
+
+    #[test]
+    fn monotonicity_rta_subset_cha_subset_everything() {
+        let src = format!(
+            "{VIRT}int extra() {{ return 9; }}\n\
+             int main() {{ B b; A* ap = &b; return ap->f(); }}"
+        );
+        let (_, rta) = graph(&src, Algorithm::Rta);
+        let (_, cha) = graph(&src, Algorithm::Cha);
+        let (_, all) = graph(&src, Algorithm::Everything);
+        let rta_set: BTreeSet<_> = rta.reachable().collect();
+        let cha_set: BTreeSet<_> = cha.reachable().collect();
+        let all_set: BTreeSet<_> = all.reachable().collect();
+        assert!(rta_set.is_subset(&cha_set));
+        assert!(cha_set.is_subset(&all_set));
+    }
+
+    #[test]
+    fn callees_lists_direct_edges() {
+        let (p, g) = graph(
+            "int f() { return 1; } int main() { return f() + f(); }",
+            Algorithm::Rta,
+        );
+        let main = p.main_function().unwrap();
+        let callees: Vec<_> = g.callees(main).collect();
+        assert_eq!(callees, vec![p.free_function("f").unwrap()]);
+    }
+}

@@ -1,0 +1,725 @@
+//! The dead-data-member detection algorithm (the paper's Figure 2).
+//!
+//! `DetectUnusedDataMembers` in the paper:
+//!
+//! 1. mark all data members dead, all classes not-visited;
+//! 2. build a call graph;
+//! 3. for every statement in every reachable function, mark live each
+//!    member that is read or whose address is taken, with special cases
+//!    for `delete`/`free` operands, qualified accesses, pointer-to-member
+//!    expressions, unsafe casts (`MarkAllContainedMembers`), `volatile`
+//!    writes, and `sizeof`;
+//! 4. propagate liveness through unions.
+//!
+//! The traversal itself is provided by
+//! [`ddm_hierarchy::walk_function`]; this module supplies the liveness
+//! rules and the `MarkAllContainedMembers` closure.
+
+use crate::liveness::{LiveReason, Liveness};
+use ddm_callgraph::CallGraph;
+use ddm_cppfront::ast::{CastStyle, ClassKind, Type, TypeKind};
+use ddm_hierarchy::{
+    by_value_class, walk_function, walk_globals, CastEvent, ClassId, EventVisitor,
+    MemberAccessEvent, MemberLookup, MemberRef, Program, TypeError,
+};
+use std::collections::HashSet;
+
+/// How uses of `sizeof` are treated (§3.2).
+///
+/// By default `sizeof` is conservative: all members of the measured class
+/// become live, because eliminating members would change the program's
+/// behaviour if the size value is observable. When the user has verified
+/// that `sizeof` is only used for storage allocation (true for all of the
+/// paper's benchmarks), it can be ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SizeofPolicy {
+    /// Mark all contained members of the measured type live.
+    #[default]
+    Conservative,
+    /// Ignore `sizeof` entirely (user-verified allocation-only usage).
+    Ignore,
+}
+
+/// Configuration of one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisConfig {
+    /// Treatment of `sizeof` (§3.2).
+    pub sizeof_policy: SizeofPolicy,
+    /// When true, C-style and `static_cast` down-casts are assumed safe
+    /// (the paper verified this by hand for all benchmarks; unsafe casts
+    /// then only arise from `reinterpret_cast` and unrelated-type casts).
+    pub assume_safe_downcasts: bool,
+    /// Names of classes that belong to (simulated) libraries whose source
+    /// is unavailable. Their members are unclassifiable (§3.3).
+    pub library_classes: HashSet<String>,
+}
+
+/// The dead-data-member detector.
+///
+/// # Examples
+///
+/// ```
+/// use ddm_core::{AnalysisConfig, DeadMemberAnalysis};
+/// use ddm_callgraph::{CallGraph, CallGraphOptions};
+/// use ddm_hierarchy::{MemberLookup, Program};
+///
+/// let tu = ddm_cppfront::parse(
+///     "class A { public: int used; int written_only; };\n\
+///      int main() { A a; a.written_only = 4; return a.used; }",
+/// ).unwrap();
+/// let program = Program::build(&tu).unwrap();
+/// let lookup = MemberLookup::new(&program);
+/// let graph = CallGraph::build(&program, &lookup, &CallGraphOptions::default()).unwrap();
+/// let analysis = DeadMemberAnalysis::new(&program, AnalysisConfig::default());
+/// let liveness = analysis.run(&graph).unwrap();
+/// let a = program.class_by_name("A").unwrap();
+/// assert!(liveness.is_live(ddm_hierarchy::MemberRef::new(a, 0)));
+/// assert!(liveness.is_dead(ddm_hierarchy::MemberRef::new(a, 1)));
+/// ```
+#[derive(Debug)]
+pub struct DeadMemberAnalysis<'p> {
+    program: &'p Program,
+    config: AnalysisConfig,
+}
+
+impl<'p> DeadMemberAnalysis<'p> {
+    /// Creates an analysis over `program` with `config`.
+    pub fn new(program: &'p Program, config: AnalysisConfig) -> Self {
+        DeadMemberAnalysis { program, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Runs the algorithm against a previously built call graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TypeError`]s from walking reachable function bodies.
+    pub fn run(&self, callgraph: &CallGraph) -> Result<Liveness, TypeError> {
+        let lookup = MemberLookup::new(self.program);
+        let library: HashSet<ClassId> = self
+            .config
+            .library_classes
+            .iter()
+            .filter_map(|n| self.program.class_by_name(n))
+            .collect();
+
+        let mut marker = Marker {
+            program: self.program,
+            liveness: Liveness::new(),
+            visited: HashSet::new(),
+            config: &self.config,
+        };
+
+        // Library members are unclassifiable from the start.
+        for (cid, class) in self.program.classes() {
+            if library.contains(&cid) {
+                for idx in 0..class.members.len() {
+                    marker
+                        .liveness
+                        .mark_unclassifiable(MemberRef::new(cid, idx));
+                }
+            }
+        }
+
+        // Global initializers run unconditionally before main.
+        {
+            let mut sink = Sink {
+                marker: &mut marker,
+            };
+            walk_globals(self.program, &lookup, &mut sink)?;
+        }
+
+        // Every statement of every function reachable in the call graph.
+        for func in callgraph.reachable() {
+            let mut sink = Sink {
+                marker: &mut marker,
+            };
+            walk_function(self.program, &lookup, func, &mut sink)?;
+        }
+
+        // Union propagation (Figure 2, lines 9–11), to a fixpoint since
+        // marking a union's contents may liven members of another union.
+        loop {
+            let mut changed = false;
+            for (cid, class) in self.program.classes() {
+                if class.kind != ClassKind::Union {
+                    continue;
+                }
+                let any_live = marker.any_contained_live(cid, &mut HashSet::new());
+                let all_marked = marker.visited.contains(&cid);
+                if any_live && !all_marked {
+                    marker.mark_all_contained(cid, LiveReason::UnionPropagation);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        Ok(marker.liveness)
+    }
+}
+
+struct Marker<'p, 'c> {
+    program: &'p Program,
+    liveness: Liveness,
+    /// The paper's per-class "visited" marking for
+    /// `MarkAllContainedMembers` (line 4 / line 38).
+    visited: HashSet<ClassId>,
+    config: &'c AnalysisConfig,
+}
+
+impl Marker<'_, '_> {
+    /// `MarkAllContainedMembers` (Figure 2, lines 36–50): marks every data
+    /// member of `class` live, recursing into by-value member classes and
+    /// direct base classes, with duplicate suppression via the visited set.
+    fn mark_all_contained(&mut self, class: ClassId, reason: LiveReason) {
+        if !self.visited.insert(class) {
+            return;
+        }
+        let info = self.program.class(class);
+        for (idx, m) in info.members.iter().enumerate() {
+            self.liveness.mark_live(MemberRef::new(class, idx), reason);
+            if let Some(name) = by_value_class(&m.ty) {
+                if let Some(id) = self.program.class_by_name(name) {
+                    self.mark_all_contained(id, reason);
+                }
+            }
+        }
+        let bases: Vec<ClassId> = info.bases.iter().map(|b| b.id).collect();
+        for b in bases {
+            self.mark_all_contained(b, reason);
+        }
+    }
+
+    /// Whether any member directly or indirectly contained in `class` is
+    /// currently live (used for the union rule).
+    fn any_contained_live(&self, class: ClassId, seen: &mut HashSet<ClassId>) -> bool {
+        if !seen.insert(class) {
+            return false;
+        }
+        let info = self.program.class(class);
+        for (idx, m) in info.members.iter().enumerate() {
+            if self.liveness.is_live(MemberRef::new(class, idx)) {
+                return true;
+            }
+            if let Some(name) = by_value_class(&m.ty) {
+                if let Some(id) = self.program.class_by_name(name) {
+                    if self.any_contained_live(id, seen) {
+                        return true;
+                    }
+                }
+            }
+        }
+        info.bases
+            .iter()
+            .any(|b| self.any_contained_live(b.id, &mut seen.clone()))
+    }
+
+    /// Classifies a cast as unsafe per §3: down-casts (unless the user
+    /// asserted they are safe), `reinterpret_cast`, casts between unrelated
+    /// class pointers, and class-pointer ↔ arithmetic casts. Up-casts,
+    /// identity casts, arithmetic conversions, `dynamic_cast` (checked),
+    /// `const_cast`, and casts to/from `void*` are safe.
+    fn cast_is_unsafe(&self, ev: &CastEvent) -> bool {
+        match ev.style {
+            CastStyle::Dynamic | CastStyle::Const => return false,
+            CastStyle::Reinterpret => return true,
+            CastStyle::CStyle | CastStyle::Static => {}
+        }
+        let target = strip_indirections(&ev.target);
+        let operand = strip_indirections(&ev.operand);
+        // Arithmetic conversions are safe.
+        if target.is_arithmetic() && operand.is_arithmetic() {
+            return false;
+        }
+        // `void*` is the universal currency of the allocation interface.
+        if matches!(target.kind, TypeKind::Void) || matches!(operand.kind, TypeKind::Void) {
+            return false;
+        }
+        let (Some(tname), Some(oname)) = (target.named(), operand.named()) else {
+            // Class ↔ arithmetic, or function-pointer reinterpretation.
+            return true;
+        };
+        let (Some(tid), Some(oid)) = (
+            self.program.class_by_name(tname),
+            self.program.class_by_name(oname),
+        ) else {
+            return true;
+        };
+        if tid == oid {
+            return false;
+        }
+        if self.program.derives_from(oid, tid) {
+            return false; // up-cast
+        }
+        if self.program.derives_from(tid, oid) {
+            return !self.config.assume_safe_downcasts; // down-cast
+        }
+        true // unrelated classes
+    }
+}
+
+struct Sink<'a, 'p, 'c> {
+    marker: &'a mut Marker<'p, 'c>,
+}
+
+impl EventVisitor for Sink<'_, '_, '_> {
+    fn member_access(&mut self, ev: &MemberAccessEvent) {
+        let member = &self.marker.program.class(ev.member.class).members[ev.member.index as usize];
+        if ev.is_store_target {
+            // "The act of storing a value into a data member cannot affect
+            // the program's observable behavior by itself" — except for
+            // volatile members (footnote 1).
+            if member.is_volatile {
+                self.marker
+                    .liveness
+                    .mark_live(ev.member, LiveReason::VolatileWrite);
+            }
+            return;
+        }
+        if ev.is_delete_operand {
+            // "A data member whose address is passed to the delete or free
+            // system functions does not have to be marked as live."
+            return;
+        }
+        let reason = if ev.address_taken {
+            LiveReason::AddressTaken
+        } else {
+            LiveReason::Read
+        };
+        self.marker.liveness.mark_live(ev.member, reason);
+    }
+
+    fn ptr_to_member(&mut self, member: MemberRef, _span: ddm_cppfront::Span) {
+        // "&Z::m ... we simply assume that any member whose offset is
+        // computed may be accessed somewhere in the program."
+        self.marker
+            .liveness
+            .mark_live(member, LiveReason::PointerToMember);
+    }
+
+    fn cast(&mut self, ev: &CastEvent) {
+        if !self.marker.cast_is_unsafe(ev) {
+            return;
+        }
+        // "let S be the type of e'; call MarkAllContainedMembers(S)".
+        let operand = strip_indirections(&ev.operand);
+        if let Some(name) = operand.named() {
+            if let Some(id) = self.marker.program.class_by_name(name) {
+                self.marker.mark_all_contained(id, LiveReason::UnsafeCast);
+            }
+        }
+    }
+
+    fn sizeof_of(&mut self, ty: &Type, _span: ddm_cppfront::Span) {
+        if self.marker.config.sizeof_policy == SizeofPolicy::Ignore {
+            return;
+        }
+        let ty = strip_indirections(ty);
+        if let Some(name) = ty.named() {
+            if let Some(id) = self.marker.program.class_by_name(name) {
+                self.marker.mark_all_contained(id, LiveReason::Sizeof);
+            }
+        }
+    }
+}
+
+/// Strips pointers, references and arrays to reach the underlying type.
+fn strip_indirections(ty: &Type) -> &Type {
+    match &ty.kind {
+        TypeKind::Pointer(inner) | TypeKind::Reference(inner) => strip_indirections(inner),
+        TypeKind::Array(inner, _) => strip_indirections(inner),
+        _ => ty,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddm_callgraph::{Algorithm, CallGraphOptions};
+    use ddm_cppfront::parse;
+
+    fn run(src: &str) -> (Program, Liveness) {
+        run_with(src, AnalysisConfig::default(), Algorithm::Rta)
+    }
+
+    fn run_with(src: &str, config: AnalysisConfig, algorithm: Algorithm) -> (Program, Liveness) {
+        let tu = parse(src).expect("parse");
+        let program = Program::build(&tu).expect("sema");
+        let liveness = {
+            let lookup = MemberLookup::new(&program);
+            let cg_options = CallGraphOptions {
+                algorithm,
+                library_classes: config
+                    .library_classes
+                    .iter()
+                    .filter_map(|n| program.class_by_name(n))
+                    .collect(),
+            };
+            let graph = CallGraph::build(&program, &lookup, &cg_options).expect("callgraph");
+            DeadMemberAnalysis::new(&program, config)
+                .run(&graph)
+                .expect("analysis")
+        };
+        (program, liveness)
+    }
+
+    fn member(p: &Program, class: &str, name: &str) -> MemberRef {
+        let cid = p.class_by_name(class).unwrap();
+        let idx = p
+            .class(cid)
+            .members
+            .iter()
+            .position(|m| m.name == name)
+            .unwrap();
+        MemberRef::new(cid, idx)
+    }
+
+    #[test]
+    fn read_member_is_live_written_member_is_dead() {
+        let (p, l) = run("class A { public: int r; int w; };\n\
+             int main() { A a; a.w = 1; return a.r; }");
+        assert!(l.is_live(member(&p, "A", "r")));
+        assert!(l.is_dead(member(&p, "A", "w")));
+    }
+
+    #[test]
+    fn never_accessed_member_is_dead() {
+        let (p, l) = run("class A { public: int never; }; int main() { A a; return 0; }");
+        assert!(l.is_dead(member(&p, "A", "never")));
+    }
+
+    #[test]
+    fn member_accessed_only_in_unreachable_code_is_dead() {
+        let (p, l) = run("class A { public: int m; };\n\
+             int ghost() { A a; return a.m; }\n\
+             int main() { A a; return 0; }");
+        assert!(l.is_dead(member(&p, "A", "m")));
+    }
+
+    #[test]
+    fn address_taken_member_is_live() {
+        let (p, l) = run("class A { public: int m; };\n\
+             int main() { A a; int* p = &a.m; a.m = 2; return 0; }");
+        assert!(l.is_live(member(&p, "A", "m")));
+        assert_eq!(
+            l.reason(member(&p, "A", "m")),
+            Some(LiveReason::AddressTaken)
+        );
+    }
+
+    #[test]
+    fn volatile_member_live_when_only_written() {
+        let (p, l) = run("class Dev { public: volatile int ctrl; int scratch; };\n\
+             int main() { Dev d; d.ctrl = 1; d.scratch = 2; return 0; }");
+        assert!(l.is_live(member(&p, "Dev", "ctrl")));
+        assert_eq!(
+            l.reason(member(&p, "Dev", "ctrl")),
+            Some(LiveReason::VolatileWrite)
+        );
+        assert!(l.is_dead(member(&p, "Dev", "scratch")));
+    }
+
+    #[test]
+    fn delete_and_free_operands_do_not_liven() {
+        let (p, l) = run("class Node { public: int* heap_buf; Node* child; };\n\
+             int main() { Node n; delete n.child; free(n.heap_buf); return 0; }");
+        assert!(l.is_dead(member(&p, "Node", "child")));
+        assert!(l.is_dead(member(&p, "Node", "heap_buf")));
+    }
+
+    #[test]
+    fn pointer_to_member_livens() {
+        let (p, l) = run("class A { public: int m; int other; };\n\
+             int main() { int A::* pm = &A::m; A a; return a.*pm; }");
+        assert!(l.is_live(member(&p, "A", "m")));
+        assert_eq!(
+            l.reason(member(&p, "A", "m")),
+            Some(LiveReason::PointerToMember)
+        );
+        assert!(l.is_dead(member(&p, "A", "other")));
+    }
+
+    #[test]
+    fn unsafe_downcast_marks_all_contained_members_of_operand_type() {
+        let (p, l) = run("class S { public: int s1; int s2; };\n\
+             class T : public S { public: int t1; };\n\
+             int main() { S* s = new T(); T* t = (T*)s; return 0; }");
+        // Down-cast S* → T* is unsafe by default: S's members become live.
+        assert!(l.is_live(member(&p, "S", "s1")));
+        assert!(l.is_live(member(&p, "S", "s2")));
+        assert_eq!(
+            l.reason(member(&p, "S", "s1")),
+            Some(LiveReason::UnsafeCast)
+        );
+        // T's own member is not contained in S.
+        assert!(l.is_dead(member(&p, "T", "t1")));
+    }
+
+    #[test]
+    fn verified_downcasts_can_be_assumed_safe() {
+        let (p, l) = run_with(
+            "class S { public: int s1; };\n\
+             class T : public S { public: int t1; };\n\
+             int main() { S* s = new T(); T* t = (T*)s; return 0; }",
+            AnalysisConfig {
+                assume_safe_downcasts: true,
+                ..Default::default()
+            },
+            Algorithm::Rta,
+        );
+        assert!(l.is_dead(member(&p, "S", "s1")));
+        assert!(l.is_dead(member(&p, "T", "t1")));
+    }
+
+    #[test]
+    fn upcast_is_safe() {
+        let (p, l) = run("class S { public: int s1; };\n\
+             class T : public S { public: int t1; };\n\
+             int main() { T* t = new T(); S* s = (S*)t; return 0; }");
+        assert!(l.is_dead(member(&p, "S", "s1")));
+        assert!(l.is_dead(member(&p, "T", "t1")));
+    }
+
+    #[test]
+    fn reinterpret_cast_is_always_unsafe() {
+        let (p, l) = run("class A { public: int m; };\n\
+             int main() { A* a = new A(); long v = reinterpret_cast<long>(a); return 0; }");
+        assert!(l.is_live(member(&p, "A", "m")));
+    }
+
+    #[test]
+    fn union_with_one_live_member_livens_all() {
+        let (p, l) = run("union U { int i; float f; char bytes[4]; };\n\
+             int main() { U u; u.f = 1.5; return u.i; }");
+        assert!(l.is_live(member(&p, "U", "i")));
+        assert!(l.is_live(member(&p, "U", "f")));
+        assert!(l.is_live(member(&p, "U", "bytes")));
+    }
+
+    #[test]
+    fn union_with_no_live_members_stays_dead() {
+        let (p, l) = run("union U { int i; float f; };\n\
+             int main() { U u; u.i = 3; return 0; }");
+        assert!(l.is_dead(member(&p, "U", "i")));
+        assert!(l.is_dead(member(&p, "U", "f")));
+    }
+
+    #[test]
+    fn sizeof_conservative_vs_ignore() {
+        let src = "class A { public: int m1; int m2; };\n\
+                   int main() { return sizeof(A); }";
+        let (p, l) = run_with(src, AnalysisConfig::default(), Algorithm::Rta);
+        assert!(l.is_live(member(&p, "A", "m1")));
+        assert_eq!(l.reason(member(&p, "A", "m1")), Some(LiveReason::Sizeof));
+        let (p2, l2) = run_with(
+            src,
+            AnalysisConfig {
+                sizeof_policy: SizeofPolicy::Ignore,
+                ..Default::default()
+            },
+            Algorithm::Rta,
+        );
+        assert!(l2.is_dead(member(&p2, "A", "m1")));
+        assert!(l2.is_dead(member(&p2, "A", "m2")));
+    }
+
+    #[test]
+    fn library_class_members_are_unclassifiable() {
+        let (p, l) = run_with(
+            "class LibString { public: char* data; int len; int capacity; };\n\
+             int main() { LibString s; return s.len; }",
+            AnalysisConfig {
+                library_classes: ["LibString".to_string()].into_iter().collect(),
+                ..Default::default()
+            },
+            Algorithm::Rta,
+        );
+        for name in ["data", "len", "capacity"] {
+            let m = member(&p, "LibString", name);
+            assert!(!m_is_classified(&l, m), "{name} must be unclassifiable");
+        }
+    }
+
+    fn m_is_classified(l: &Liveness, m: MemberRef) -> bool {
+        l.is_dead(m)
+    }
+
+    #[test]
+    fn figure1_classification_matches_paper() {
+        // The running example: expected classifications from §2/§3.1 under
+        // the RTA-style call graph (B::mb1, C::mc1, B::mb3 conservatively
+        // live; ma2, mn2, ma3 dead).
+        let src = "
+            class N { public: int mn1; int mn2; };
+            class A { public: virtual int f() { return ma1; } int ma1; int ma2; int ma3; };
+            class B : public A { public: virtual int f() { return mb1; } int mb1; N mb2; int mb3; int mb4; };
+            class C : public A { public: virtual int f() { return mc1; } int mc1; };
+            int foo(int* x) { return (*x) + 1; }
+            int main() {
+                A a; B b; C c; A* ap;
+                a.ma3 = b.mb3 + 1;
+                int i = 10;
+                if (i < 20) { ap = &a; } else { ap = &b; }
+                return ap->f() + b.mb2.mn1 + foo(&b.mb4);
+            }";
+        let (p, l) = run(src);
+        // Live per the paper's analysis of its own algorithm:
+        assert!(l.is_live(member(&p, "A", "ma1")), "ma1 read in A::f");
+        assert!(l.is_live(member(&p, "N", "mn1")), "mn1 read in main");
+        assert!(l.is_live(member(&p, "B", "mb2")), "mb2 on a read path");
+        assert!(l.is_live(member(&p, "B", "mb4")), "mb4 address taken");
+        assert!(
+            l.is_live(member(&p, "B", "mb3")),
+            "mb3 read (value unused, but conservative)"
+        );
+        assert!(
+            l.is_live(member(&p, "B", "mb1")),
+            "mb1 read in reachable B::f"
+        );
+        assert!(
+            l.is_live(member(&p, "C", "mc1")),
+            "mc1 read in reachable C::f"
+        );
+        // Dead:
+        assert!(l.is_dead(member(&p, "A", "ma2")), "ma2 never accessed");
+        assert!(l.is_dead(member(&p, "N", "mn2")), "mn2 never accessed");
+        assert!(l.is_dead(member(&p, "A", "ma3")), "ma3 only written");
+        assert_eq!(l.dead_members(&p).len(), 3);
+    }
+
+    #[test]
+    fn compound_assignment_livens_target() {
+        let (p, l) = run("class A { public: int acc; };\n\
+             int main() { A a; a.acc += 5; return 0; }");
+        assert!(l.is_live(member(&p, "A", "acc")), "`+=` reads the member");
+    }
+
+    #[test]
+    fn increment_livens_target() {
+        let (p, l) = run("class A { public: int n1; int n2; };\n\
+             int main() { A a; a.n1++; --a.n2; return 0; }");
+        assert!(l.is_live(member(&p, "A", "n1")));
+        assert!(l.is_live(member(&p, "A", "n2")));
+    }
+
+    #[test]
+    fn ctor_initialization_does_not_liven() {
+        let (p, l) = run("class A { public: int x; int y; A() : x(1) { y = 2; } };\n\
+             int main() { A a; return 0; }");
+        assert!(l.is_dead(member(&p, "A", "x")));
+        assert!(l.is_dead(member(&p, "A", "y")));
+    }
+
+    #[test]
+    fn liveness_monotone_in_callgraph_precision() {
+        // dead(RTA) ⊇ dead(CHA) ⊇ dead(Everything).
+        let src = "
+            class A { public: virtual int f() { return m1; } int m1; };
+            class B : public A { public: virtual int f() { return m2; } int m2; };
+            int orphan() { B b; return b.m2; }
+            int main() { A a; return a.f(); }";
+        let count = |alg| {
+            let (p, l) = run_with(src, AnalysisConfig::default(), alg);
+            l.dead_members(&p).len()
+        };
+        let rta = count(Algorithm::Rta);
+        let cha = count(Algorithm::Cha);
+        let all = count(Algorithm::Everything);
+        assert!(rta >= cha, "rta={rta} cha={cha}");
+        assert!(cha >= all, "cha={cha} all={all}");
+        assert!(rta > all, "the example is built to show a difference");
+    }
+
+    #[test]
+    fn mark_all_contained_recurses_through_value_members_and_bases() {
+        let (p, l) = run("class Inner { public: int deep; };\n\
+             class Base { public: int inherited; };\n\
+             class Outer : public Base { public: Inner inner; int own; };\n\
+             int main() { Outer* o = new Outer(); long v = reinterpret_cast<long>(o); return 0; }");
+        assert!(l.is_live(member(&p, "Outer", "own")));
+        assert!(l.is_live(member(&p, "Outer", "inner")));
+        assert!(l.is_live(member(&p, "Inner", "deep")));
+        assert!(l.is_live(member(&p, "Base", "inherited")));
+    }
+}
+
+#[cfg(test)]
+mod union_edge_tests {
+    use super::*;
+    use ddm_callgraph::{CallGraph, CallGraphOptions};
+    use ddm_cppfront::parse;
+
+    fn liveness(src: &str) -> (Program, Liveness) {
+        let tu = parse(src).expect("parse");
+        let program = Program::build(&tu).expect("sema");
+        let l = {
+            let lookup = MemberLookup::new(&program);
+            let graph = CallGraph::build(&program, &lookup, &CallGraphOptions::default()).unwrap();
+            DeadMemberAnalysis::new(&program, AnalysisConfig::default())
+                .run(&graph)
+                .unwrap()
+        };
+        (program, l)
+    }
+
+    fn member(p: &Program, class: &str, name: &str) -> MemberRef {
+        let cid = p.class_by_name(class).unwrap();
+        let idx = p
+            .class(cid)
+            .members
+            .iter()
+            .position(|m| m.name == name)
+            .unwrap();
+        MemberRef::new(cid, idx)
+    }
+
+    #[test]
+    fn union_nested_in_union_propagates_transitively() {
+        // Liveness of the outer union's int must reach members nested two
+        // levels down (the union fixpoint of Figure 2 lines 9-11).
+        let (p, l) = liveness(
+            "union Inner { short s; char c; };\n\
+             union Outer { int i; Inner nested; };\n\
+             int main() { Outer u; return u.i; }",
+        );
+        assert!(l.is_live(member(&p, "Outer", "i")));
+        assert!(l.is_live(member(&p, "Outer", "nested")));
+        assert!(l.is_live(member(&p, "Inner", "s")));
+        assert!(l.is_live(member(&p, "Inner", "c")));
+    }
+
+    #[test]
+    fn class_containing_union_does_not_auto_liven() {
+        // A union inside a class only fires the rule when one of ITS
+        // members is live; sibling class members are unaffected.
+        let (p, l) = liveness(
+            "union U { int a; int b; };\n\
+             class Holder { public: U u; int other; };\n\
+             int main() { Holder h; h.other = 1; return 0; }",
+        );
+        assert!(l.is_dead(member(&p, "U", "a")));
+        assert!(l.is_dead(member(&p, "U", "b")));
+        assert!(l.is_dead(member(&p, "Holder", "other")));
+        // `u` itself: never read or address-taken either.
+        assert!(l.is_dead(member(&p, "Holder", "u")));
+    }
+
+    #[test]
+    fn union_rule_fires_through_base_class_of_contained_class() {
+        let (p, l) = liveness(
+            "struct Base { int inherited; };\n\
+             struct Payload : public Base { int own; };\n\
+             union U { Payload p; int raw; };\n\
+             int main() { U u; return u.raw; }",
+        );
+        assert!(l.is_live(member(&p, "Base", "inherited")));
+        assert!(l.is_live(member(&p, "Payload", "own")));
+    }
+}

@@ -1,0 +1,35 @@
+//! # ddm-core
+//!
+//! The primary contribution of Sweeney & Tip, *A Study of Dead Data
+//! Members in C++ Applications* (PLDI 1998): a simple, efficient
+//! whole-program analysis that detects data members whose values can
+//! never affect observable behaviour.
+//!
+//! A member is **live** iff its value is *read*, or its *address is
+//! taken*, in code reachable from `main()`; everything else — including
+//! members that are only ever written — is **dead** and can be removed
+//! from every object without changing program behaviour. The special
+//! cases (all implemented here, see [`DeadMemberAnalysis`]):
+//!
+//! * `volatile` members are live when written;
+//! * `delete`/`free` operands are exempt from livening;
+//! * `&Z::m` pointer-to-member expressions liven their member;
+//! * unsafe casts liven all members contained in the operand's type;
+//! * a union with one live member has all its contents livened;
+//! * `sizeof` is conservative by default and ignorable by policy.
+//!
+//! Use [`AnalysisPipeline`] for the one-call workflow, or compose
+//! [`DeadMemberAnalysis`] with your own
+//! [`CallGraph`](ddm_callgraph::CallGraph) for ablations.
+
+pub mod analysis;
+pub mod eliminate;
+pub mod liveness;
+pub mod pipeline;
+pub mod report;
+
+pub use analysis::{AnalysisConfig, DeadMemberAnalysis, SizeofPolicy};
+pub use eliminate::{eliminate, Elimination, KeepReason};
+pub use liveness::{LiveReason, Liveness};
+pub use pipeline::{AnalysisPipeline, PipelineError};
+pub use report::{ClassReport, Report};

@@ -1,0 +1,185 @@
+//! Liveness classification results.
+
+use ddm_hierarchy::{MemberRef, Program};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a data member was classified live. The *first* reason found is
+/// recorded (the algorithm is monotone, so any reason suffices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LiveReason {
+    /// Its value is read in reachable code.
+    Read,
+    /// Its address is taken (`&e.m`).
+    AddressTaken,
+    /// A pointer-to-member `&C::m` names it.
+    PointerToMember,
+    /// An unsafe type cast forced all members of its containing type live.
+    UnsafeCast,
+    /// A live member of the same union forced it live.
+    UnionPropagation,
+    /// It is `volatile` and written (the paper's footnote-1 exception).
+    VolatileWrite,
+    /// A conservative `sizeof` forced it live.
+    Sizeof,
+}
+
+impl fmt::Display for LiveReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LiveReason::Read => "read",
+            LiveReason::AddressTaken => "address taken",
+            LiveReason::PointerToMember => "pointer-to-member",
+            LiveReason::UnsafeCast => "unsafe cast",
+            LiveReason::UnionPropagation => "union propagation",
+            LiveReason::VolatileWrite => "volatile write",
+            LiveReason::Sizeof => "sizeof",
+        })
+    }
+}
+
+/// The per-member classification produced by the analysis.
+///
+/// Every data member of the program is either *live* (with a
+/// [`LiveReason`]) or *dead*. Members of library classes are neither: they
+/// cannot be classified without the library source (§3.3) and are reported
+/// separately.
+///
+/// # Examples
+///
+/// ```
+/// use ddm_core::{Liveness, LiveReason};
+/// use ddm_hierarchy::{ClassId, MemberRef};
+///
+/// let mut liveness = Liveness::new();
+/// let m = MemberRef::new(ClassId::from_index(0), 0);
+/// assert!(liveness.is_dead(m)); // everything starts dead (Figure 2, line 3)
+/// liveness.mark_live(m, LiveReason::Read);
+/// assert_eq!(liveness.reason(m), Some(LiveReason::Read));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Liveness {
+    live: BTreeMap<MemberRef, LiveReason>,
+    unclassifiable: std::collections::BTreeSet<MemberRef>,
+}
+
+impl Liveness {
+    /// Creates an empty classification (everything dead), the algorithm's
+    /// starting state.
+    pub fn new() -> Self {
+        Liveness::default()
+    }
+
+    /// Marks `member` live for `reason` (keeps the first reason).
+    /// Returns true if the member was previously dead.
+    pub fn mark_live(&mut self, member: MemberRef, reason: LiveReason) -> bool {
+        match self.live.entry(member) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(reason);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Marks `member` as unclassifiable (library class member).
+    pub fn mark_unclassifiable(&mut self, member: MemberRef) {
+        self.unclassifiable.insert(member);
+    }
+
+    /// Whether `member` was marked live.
+    pub fn is_live(&self, member: MemberRef) -> bool {
+        self.live.contains_key(&member)
+    }
+
+    /// Whether `member` is dead (not live and classifiable).
+    pub fn is_dead(&self, member: MemberRef) -> bool {
+        !self.live.contains_key(&member) && !self.unclassifiable.contains(&member)
+    }
+
+    /// Whether `member` belongs to a library class (unclassifiable).
+    pub fn is_unclassifiable(&self, member: MemberRef) -> bool {
+        self.unclassifiable.contains(&member)
+    }
+
+    /// The recorded reason for a live member.
+    pub fn reason(&self, member: MemberRef) -> Option<LiveReason> {
+        self.live.get(&member).copied()
+    }
+
+    /// Number of live members.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Iterates over live members with their reasons.
+    pub fn live_members(&self) -> impl Iterator<Item = (MemberRef, LiveReason)> + '_ {
+        self.live.iter().map(|(&m, &r)| (m, r))
+    }
+
+    /// All dead members of `program`, in declaration order.
+    pub fn dead_members<'a>(&'a self, program: &'a Program) -> Vec<MemberRef> {
+        let mut out = Vec::new();
+        for (cid, class) in program.classes() {
+            for idx in 0..class.members.len() {
+                let m = MemberRef::new(cid, idx);
+                if self.is_dead(m) {
+                    out.push(m);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddm_hierarchy::ClassId;
+
+    fn mref(c: usize, i: usize) -> MemberRef {
+        MemberRef::new(ClassId::from_index(c), i)
+    }
+
+    #[test]
+    fn first_reason_wins() {
+        let mut l = Liveness::new();
+        assert!(l.mark_live(mref(0, 0), LiveReason::Read));
+        assert!(!l.mark_live(mref(0, 0), LiveReason::UnsafeCast));
+        assert_eq!(l.reason(mref(0, 0)), Some(LiveReason::Read));
+    }
+
+    #[test]
+    fn dead_until_marked() {
+        let mut l = Liveness::new();
+        assert!(l.is_dead(mref(1, 2)));
+        l.mark_live(mref(1, 2), LiveReason::AddressTaken);
+        assert!(l.is_live(mref(1, 2)));
+        assert!(!l.is_dead(mref(1, 2)));
+        assert_eq!(l.live_count(), 1);
+    }
+
+    #[test]
+    fn unclassifiable_is_neither_live_nor_dead() {
+        let mut l = Liveness::new();
+        l.mark_unclassifiable(mref(2, 0));
+        assert!(!l.is_live(mref(2, 0)));
+        assert!(!l.is_dead(mref(2, 0)));
+        assert!(l.is_unclassifiable(mref(2, 0)));
+    }
+
+    #[test]
+    fn reasons_display() {
+        for r in [
+            LiveReason::Read,
+            LiveReason::AddressTaken,
+            LiveReason::PointerToMember,
+            LiveReason::UnsafeCast,
+            LiveReason::UnionPropagation,
+            LiveReason::VolatileWrite,
+            LiveReason::Sizeof,
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! End-to-end convenience pipeline: source → parse → model → call graph →
+//! dead-member analysis → report.
+
+use crate::analysis::{AnalysisConfig, DeadMemberAnalysis};
+use crate::liveness::Liveness;
+use crate::report::Report;
+use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
+use ddm_cppfront::{parse, ParseError};
+use ddm_hierarchy::{used_classes, ClassId, MemberLookup, Program, SemaError, TypeError};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Any error the pipeline can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Semantic model construction failed.
+    Sema(SemaError),
+    /// Type resolution inside a body failed.
+    Type(TypeError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse error: {e}"),
+            PipelineError::Sema(e) => write!(f, "semantic error: {e}"),
+            PipelineError::Type(e) => write!(f, "type error: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Parse(e) => Some(e),
+            PipelineError::Sema(e) => Some(e),
+            PipelineError::Type(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+impl From<SemaError> for PipelineError {
+    fn from(e: SemaError) -> Self {
+        PipelineError::Sema(e)
+    }
+}
+
+impl From<TypeError> for PipelineError {
+    fn from(e: TypeError) -> Self {
+        PipelineError::Type(e)
+    }
+}
+
+/// A completed analysis run, holding every intermediate artifact.
+///
+/// # Examples
+///
+/// ```
+/// use ddm_core::AnalysisPipeline;
+///
+/// let run = AnalysisPipeline::from_source(
+///     "class A { public: int live; int dead; };\n\
+///      int main() { A a; a.dead = 1; return a.live; }",
+/// )?;
+/// assert_eq!(run.report().dead_member_names(), vec!["A::dead"]);
+/// # Ok::<(), ddm_core::PipelineError>(())
+/// ```
+#[derive(Debug)]
+pub struct AnalysisPipeline {
+    tu: ddm_cppfront::TranslationUnit,
+    program: Program,
+    callgraph: CallGraph,
+    liveness: Liveness,
+    used: HashSet<ClassId>,
+    config: AnalysisConfig,
+}
+
+impl AnalysisPipeline {
+    /// Runs the full pipeline with the default configuration (RTA call
+    /// graph, conservative `sizeof`, conservative down-casts).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] for parse, semantic, or type failures.
+    pub fn from_source(source: &str) -> Result<AnalysisPipeline, PipelineError> {
+        Self::with_config(source, AnalysisConfig::default(), Algorithm::Rta)
+    }
+
+    /// Runs the full pipeline with an explicit configuration and call-graph
+    /// algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] for parse, semantic, or type failures.
+    pub fn with_config(
+        source: &str,
+        config: AnalysisConfig,
+        algorithm: Algorithm,
+    ) -> Result<AnalysisPipeline, PipelineError> {
+        let tu = parse(source)?;
+        let program = Program::build(&tu)?;
+        let (callgraph, liveness, used) = {
+            let lookup = MemberLookup::new(&program);
+            let cg_options = CallGraphOptions {
+                algorithm,
+                library_classes: config
+                    .library_classes
+                    .iter()
+                    .filter_map(|n| program.class_by_name(n))
+                    .collect(),
+            };
+            let callgraph = CallGraph::build(&program, &lookup, &cg_options)?;
+            let liveness = DeadMemberAnalysis::new(&program, config.clone()).run(&callgraph)?;
+            let used = used_classes(&program, &lookup)?;
+            (callgraph, liveness, used)
+        };
+        Ok(AnalysisPipeline {
+            tu,
+            program,
+            callgraph,
+            liveness,
+            used,
+            config,
+        })
+    }
+
+    /// The parsed translation unit the analysis ran on.
+    pub fn translation_unit(&self) -> &ddm_cppfront::TranslationUnit {
+        &self.tu
+    }
+
+    /// The resolved program model.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The call graph that scoped the analysis.
+    pub fn callgraph(&self) -> &CallGraph {
+        &self.callgraph
+    }
+
+    /// The per-member classification.
+    pub fn liveness(&self) -> &Liveness {
+        &self.liveness
+    }
+
+    /// The used-class set.
+    pub fn used(&self) -> &HashSet<ClassId> {
+        &self.used
+    }
+
+    /// The configuration the run used.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Builds the report.
+    pub fn report(&self) -> Report {
+        Report::new(&self.program, &self.liveness, &self.used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let run = AnalysisPipeline::from_source(
+            "class A { public: int live; int dead; };\n\
+             int main() { A a; return a.live; }",
+        )
+        .unwrap();
+        let report = run.report();
+        assert_eq!(report.dead_member_names(), vec!["A::dead"]);
+        assert!(run.callgraph().reachable_count() >= 1);
+        assert_eq!(run.used().len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let err = AnalysisPipeline::from_source("class {").unwrap_err();
+        assert!(matches!(err, PipelineError::Parse(_)));
+        assert!(err.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn sema_errors_propagate() {
+        let err = AnalysisPipeline::from_source(
+            "class A { public: int x; int x; }; int main() { return 0; }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::Sema(_)));
+    }
+
+    #[test]
+    fn type_errors_propagate() {
+        let err = AnalysisPipeline::from_source("int main() { return mystery; }").unwrap_err();
+        assert!(matches!(err, PipelineError::Type(_)));
+        assert!(err.source().is_some());
+    }
+}

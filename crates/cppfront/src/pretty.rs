@@ -1,0 +1,685 @@
+//! Pretty-printer: renders an AST back to parseable source.
+//!
+//! Used by round-trip tests (`parse(print(parse(s)))` must equal
+//! `parse(s)`) and by the random program generator to emit its output.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole translation unit as compilable subset source.
+pub fn print_unit(tu: &TranslationUnit) -> String {
+    let mut p = Printer::default();
+    for e in &tu.enums {
+        p.print_enum(e);
+    }
+    for c in &tu.classes {
+        p.print_class(c);
+    }
+    for g in &tu.globals {
+        p.print_global(g);
+    }
+    for f in &tu.functions {
+        p.print_function(f, None);
+    }
+    p.out
+}
+
+/// Renders a single expression.
+pub fn print_expr(e: &Expr) -> String {
+    let mut p = Printer::default();
+    p.expr(e);
+    p.out
+}
+
+/// Renders a single statement.
+pub fn print_stmt(s: &Stmt) -> String {
+    let mut p = Printer::default();
+    p.stmt(s);
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn print_enum(&mut self, e: &EnumDecl) {
+        let variants = e
+            .variants
+            .iter()
+            .map(|(n, v)| format!("{n} = {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        self.line(&format!("enum {} {{ {} }};", e.name, variants));
+    }
+
+    fn print_class(&mut self, c: &ClassDecl) {
+        let mut head = format!("{} {}", c.kind, c.name);
+        if !c.bases.is_empty() {
+            head.push_str(" : ");
+            let bases = c
+                .bases
+                .iter()
+                .map(|b| {
+                    let v = if b.is_virtual { "virtual " } else { "" };
+                    format!("{}{} {}", v, b.access, b.name)
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            head.push_str(&bases);
+        }
+        head.push_str(" {");
+        self.line(&head);
+        self.indent += 1;
+        let mut current = match c.kind {
+            ClassKind::Class => Access::Private,
+            _ => Access::Public,
+        };
+        for m in &c.data_members {
+            if m.access != current {
+                self.indent -= 1;
+                self.line(&format!("{}:", m.access));
+                self.indent += 1;
+                current = m.access;
+            }
+            self.line(&format!("{};", declare(&m.ty, &m.name)));
+        }
+        if !c.methods.is_empty() && current != Access::Public {
+            self.indent -= 1;
+            self.line("public:");
+            self.indent += 1;
+        }
+        for m in &c.methods {
+            self.print_function(m, Some(c));
+        }
+        self.indent -= 1;
+        self.line("};");
+    }
+
+    fn print_global(&mut self, g: &GlobalDecl) {
+        match &g.init {
+            Some(init) => {
+                let init = print_expr(init);
+                self.line(&format!("{} = {};", declare(&g.ty, &g.name), init))
+            }
+            None => self.line(&format!("{};", declare(&g.ty, &g.name))),
+        }
+    }
+
+    fn print_function(&mut self, f: &FunctionDecl, _class: Option<&ClassDecl>) {
+        let params = f
+            .params
+            .iter()
+            .map(|p| declare(&p.ty, &p.name))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut head = match f.kind {
+            FunctionKind::Constructor => format!("{}({params})", f.name),
+            FunctionKind::Destructor => format!("{}()", f.name),
+            _ => {
+                let v = if f.is_virtual { "virtual " } else { "" };
+                format!("{v}{} {}({params})", f.ret, f.name)
+            }
+        };
+        if f.kind == FunctionKind::Destructor && f.is_virtual {
+            head = format!("virtual {head}");
+        }
+        if !f.inits.is_empty() {
+            let inits = f
+                .inits
+                .iter()
+                .map(|i| {
+                    let args = i.args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+                    format!("{}({args})", i.name)
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            head.push_str(&format!(" : {inits}"));
+        }
+        match &f.body {
+            None => {
+                if f.is_virtual && f.kind == FunctionKind::Method {
+                    self.line(&format!("{head} = 0;"));
+                } else {
+                    self.line(&format!("{head};"));
+                }
+            }
+            Some(body) => {
+                self.line(&format!("{head} {{"));
+                self.indent += 1;
+                for s in &body.stmts {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Expr(e) => {
+                let text = print_expr(e);
+                self.line(&format!("{text};"));
+            }
+            StmtKind::Decl(d) => self.local_decl(d),
+            StmtKind::If { cond, then, els } => {
+                let c = print_expr(cond);
+                self.line(&format!("if ({c}) {{"));
+                self.indent += 1;
+                self.body(then);
+                self.indent -= 1;
+                match els {
+                    Some(e) => {
+                        self.line("} else {");
+                        self.indent += 1;
+                        self.body(e);
+                        self.indent -= 1;
+                        self.line("}");
+                    }
+                    None => self.line("}"),
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let c = print_expr(cond);
+                self.line(&format!("while ({c}) {{"));
+                self.indent += 1;
+                self.body(body);
+                self.indent -= 1;
+                self.line("}");
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.line("do {");
+                self.indent += 1;
+                self.body(body);
+                self.indent -= 1;
+                let c = print_expr(cond);
+                self.line(&format!("}} while ({c});"));
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let mut head = String::from("for (");
+                match init {
+                    Some(i) => {
+                        let mut ip = Printer::default();
+                        ip.stmt(i);
+                        head.push_str(ip.out.trim_end_matches('\n').trim());
+                    }
+                    None => head.push(';'),
+                }
+                head.push(' ');
+                if let Some(c) = cond {
+                    head.push_str(&print_expr(c));
+                }
+                head.push_str("; ");
+                if let Some(st) = step {
+                    head.push_str(&print_expr(st));
+                }
+                head.push_str(") {");
+                self.line(&head);
+                self.indent += 1;
+                self.body(body);
+                self.indent -= 1;
+                self.line("}");
+            }
+            StmtKind::Switch { scrutinee, arms } => {
+                let sc = print_expr(scrutinee);
+                self.line(&format!("switch ({sc}) {{"));
+                self.indent += 1;
+                for arm in arms {
+                    self.indent -= 1;
+                    match &arm.value {
+                        Some(v) => {
+                            let vv = print_expr(v);
+                            self.line(&format!("case {vv}:"));
+                        }
+                        None => self.line("default:"),
+                    }
+                    self.indent += 1;
+                    for st in &arm.stmts {
+                        self.stmt(st);
+                    }
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            StmtKind::Return(None) => self.line("return;"),
+            StmtKind::Return(Some(e)) => {
+                let text = print_expr(e);
+                self.line(&format!("return {text};"));
+            }
+            StmtKind::Break => self.line("break;"),
+            StmtKind::Continue => self.line("continue;"),
+            StmtKind::Block(b) => {
+                self.line("{");
+                self.indent += 1;
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            StmtKind::Empty => self.line(";"),
+        }
+    }
+
+    /// Prints a loop/branch body; a `Block` statement is flattened so the
+    /// printer is a fixpoint (re-printing a reparse yields identical text).
+    fn body(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Block(b) => {
+                for inner in &b.stmts {
+                    self.stmt(inner);
+                }
+            }
+            _ => self.stmt(s),
+        }
+    }
+
+    fn local_decl(&mut self, d: &LocalDecl) {
+        let head = declare(&d.ty, &d.name);
+        match &d.init {
+            LocalInit::Default => self.line(&format!("{head};")),
+            LocalInit::Expr(e) => {
+                let text = print_expr(e);
+                self.line(&format!("{head} = {text};"));
+            }
+            LocalInit::Ctor(args) => {
+                let args = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+                self.line(&format!("{head}({args});"));
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                let _ = write!(self.out, "{v}");
+            }
+            ExprKind::FloatLit(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    let _ = write!(self.out, "{v:.1}");
+                } else {
+                    let _ = write!(self.out, "{v}");
+                }
+            }
+            ExprKind::BoolLit(b) => {
+                let _ = write!(self.out, "{b}");
+            }
+            ExprKind::CharLit(c) => {
+                let escaped = match c {
+                    '\n' => "\\n".to_string(),
+                    '\t' => "\\t".to_string(),
+                    '\r' => "\\r".to_string(),
+                    '\0' => "\\0".to_string(),
+                    '\'' => "\\'".to_string(),
+                    '\\' => "\\\\".to_string(),
+                    other => other.to_string(),
+                };
+                let _ = write!(self.out, "'{escaped}'");
+            }
+            ExprKind::StrLit(s) => {
+                let escaped = s
+                    .chars()
+                    .map(|c| match c {
+                        '\n' => "\\n".to_string(),
+                        '\t' => "\\t".to_string(),
+                        '"' => "\\\"".to_string(),
+                        '\\' => "\\\\".to_string(),
+                        other => other.to_string(),
+                    })
+                    .collect::<String>();
+                let _ = write!(self.out, "\"{escaped}\"");
+            }
+            ExprKind::Null => self.out.push_str("nullptr"),
+            ExprKind::This => self.out.push_str("this"),
+            ExprKind::Ident(name) => self.out.push_str(name),
+            ExprKind::Member {
+                base,
+                arrow,
+                qualifier,
+                name,
+            } => {
+                self.paren(base);
+                self.out.push_str(if *arrow { "->" } else { "." });
+                if let Some(q) = qualifier {
+                    let _ = write!(self.out, "{q}::");
+                }
+                self.out.push_str(name);
+            }
+            ExprKind::Index { base, index } => {
+                self.paren(base);
+                self.out.push('[');
+                self.expr(index);
+                self.out.push(']');
+            }
+            ExprKind::Call { callee, args } => {
+                self.paren(callee);
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a);
+                }
+                self.out.push(')');
+            }
+            ExprKind::Unary { op, expr } => {
+                let text = match op {
+                    UnaryOp::Neg => "-",
+                    UnaryOp::Plus => "+",
+                    UnaryOp::Not => "!",
+                    UnaryOp::BitNot => "~",
+                    UnaryOp::Deref => "*",
+                    UnaryOp::AddrOf => "&",
+                    UnaryOp::PreInc => "++",
+                    UnaryOp::PreDec => "--",
+                };
+                self.out.push_str(text);
+                self.paren(expr);
+            }
+            ExprKind::Postfix { op, expr } => {
+                self.paren(expr);
+                self.out.push_str(match op {
+                    PostfixOp::PostInc => "++",
+                    PostfixOp::PostDec => "--",
+                });
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                self.paren(lhs);
+                let text = match op {
+                    BinaryOp::Add => "+",
+                    BinaryOp::Sub => "-",
+                    BinaryOp::Mul => "*",
+                    BinaryOp::Div => "/",
+                    BinaryOp::Rem => "%",
+                    BinaryOp::Shl => "<<",
+                    BinaryOp::Shr => ">>",
+                    BinaryOp::Lt => "<",
+                    BinaryOp::Gt => ">",
+                    BinaryOp::Le => "<=",
+                    BinaryOp::Ge => ">=",
+                    BinaryOp::Eq => "==",
+                    BinaryOp::Ne => "!=",
+                    BinaryOp::BitAnd => "&",
+                    BinaryOp::BitOr => "|",
+                    BinaryOp::BitXor => "^",
+                    BinaryOp::LogAnd => "&&",
+                    BinaryOp::LogOr => "||",
+                };
+                let _ = write!(self.out, " {text} ");
+                self.paren(rhs);
+            }
+            ExprKind::Assign { op, lhs, rhs } => {
+                self.paren(lhs);
+                let text = match op {
+                    AssignOp::Assign => "=",
+                    AssignOp::AddAssign => "+=",
+                    AssignOp::SubAssign => "-=",
+                    AssignOp::MulAssign => "*=",
+                    AssignOp::DivAssign => "/=",
+                    AssignOp::RemAssign => "%=",
+                    AssignOp::AndAssign => "&=",
+                    AssignOp::OrAssign => "|=",
+                    AssignOp::XorAssign => "^=",
+                    AssignOp::ShlAssign => "<<=",
+                    AssignOp::ShrAssign => ">>=",
+                };
+                let _ = write!(self.out, " {text} ");
+                self.expr(rhs);
+            }
+            ExprKind::Cond { cond, then, els } => {
+                self.paren(cond);
+                self.out.push_str(" ? ");
+                self.expr(then);
+                self.out.push_str(" : ");
+                self.expr(els);
+            }
+            ExprKind::Cast { style, ty, expr } => match style {
+                CastStyle::CStyle => {
+                    let _ = write!(self.out, "({ty})");
+                    self.paren(expr);
+                }
+                named => {
+                    let kw = match named {
+                        CastStyle::Static => "static_cast",
+                        CastStyle::Reinterpret => "reinterpret_cast",
+                        CastStyle::Const => "const_cast",
+                        CastStyle::Dynamic => "dynamic_cast",
+                        CastStyle::CStyle => unreachable!("handled above"),
+                    };
+                    let _ = write!(self.out, "{kw}<{ty}>(");
+                    self.expr(expr);
+                    self.out.push(')');
+                }
+            },
+            ExprKind::New {
+                ty,
+                args,
+                array_len,
+            } => match array_len {
+                Some(len) => {
+                    let _ = write!(self.out, "new {ty}[");
+                    self.expr(len);
+                    self.out.push(']');
+                }
+                None => {
+                    let _ = write!(self.out, "new {ty}(");
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.expr(a);
+                    }
+                    self.out.push(')');
+                }
+            },
+            ExprKind::Delete { expr, is_array } => {
+                self.out
+                    .push_str(if *is_array { "delete[] " } else { "delete " });
+                self.paren(expr);
+            }
+            ExprKind::SizeofType(ty) => {
+                let _ = write!(self.out, "sizeof({ty})");
+            }
+            ExprKind::SizeofExpr(e) => {
+                self.out.push_str("sizeof");
+                self.out.push('(');
+                self.expr(e);
+                self.out.push(')');
+            }
+            ExprKind::PtrToMember { class, member } => {
+                let _ = write!(self.out, "&{class}::{member}");
+            }
+            ExprKind::PtrMemApply { base, arrow, ptr } => {
+                self.paren(base);
+                self.out.push_str(if *arrow { "->*" } else { ".*" });
+                self.paren(ptr);
+            }
+            ExprKind::Comma { lhs, rhs } => {
+                self.expr(lhs);
+                self.out.push_str(", ");
+                self.expr(rhs);
+            }
+        }
+    }
+
+    /// Prints a subexpression, parenthesizing anything that is not atomic.
+    /// Over-parenthesizing keeps the printer trivially correct; the
+    /// round-trip test compares ASTs, not text.
+    fn paren(&mut self, e: &Expr) {
+        let atomic = matches!(
+            e.kind,
+            ExprKind::IntLit(_)
+                | ExprKind::FloatLit(_)
+                | ExprKind::BoolLit(_)
+                | ExprKind::CharLit(_)
+                | ExprKind::StrLit(_)
+                | ExprKind::Null
+                | ExprKind::This
+                | ExprKind::Ident(_)
+                | ExprKind::Member { .. }
+                | ExprKind::Index { .. }
+                | ExprKind::Call { .. }
+                | ExprKind::PtrToMember { .. }
+        );
+        if atomic {
+            self.expr(e);
+        } else {
+            self.out.push('(');
+            self.expr(e);
+            self.out.push(')');
+        }
+    }
+}
+
+/// Renders `ty name` the way C++ spells declarations (arrays and function
+/// pointers need the name embedded in the type).
+pub fn declare(ty: &Type, name: &str) -> String {
+    match &ty.kind {
+        TypeKind::Array(elem, n) => format!("{} {name}[{n}]", elem),
+        TypeKind::Pointer(inner) => {
+            if let TypeKind::Function(ft) = &inner.kind {
+                let params = ft
+                    .params
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                return format!("{} (*{name})({params})", ft.ret);
+            }
+            format!("{ty} {name}")
+        }
+        _ => format!("{ty} {name}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn round_trip(src: &str) {
+        let tu1 = parse(src).expect("first parse");
+        let printed = print_unit(&tu1);
+        let tu2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        // Compare structure, ignoring spans, by printing both again.
+        assert_eq!(
+            printed,
+            print_unit(&tu2),
+            "printer not a fixpoint:\n{printed}"
+        );
+        assert_eq!(tu1.classes.len(), tu2.classes.len());
+        assert_eq!(tu1.functions.len(), tu2.functions.len());
+        assert_eq!(tu1.data_member_count(), tu2.data_member_count());
+    }
+
+    #[test]
+    fn round_trips_classes_and_functions() {
+        round_trip(
+            "class A { public: int x; virtual int f() { return x; } };\n\
+             class B : public virtual A { public: double y; B(int v) : y(1.5) { x = v; } };\n\
+             int main() { B b(3); return b.f(); }",
+        );
+    }
+
+    #[test]
+    fn round_trips_expressions() {
+        round_trip(
+            "struct P { int v; };\n\
+             int main() {\n\
+               P* p = new P();\n\
+               int a = (1 + 2) * 3 % 4;\n\
+               a += p->v > 0 ? -a : ~a;\n\
+               int P::* pm = &P::v;\n\
+               a = p->*pm + sizeof(P);\n\
+               delete p;\n\
+               return a;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn round_trips_control_flow() {
+        round_trip(
+            "int main() {\n\
+               int t = 0;\n\
+               for (int i = 0; i < 4; i++) { t += i; }\n\
+               while (t > 0) { t--; if (t == 2) break; else continue; }\n\
+               do { t++; } while (t < 2);\n\
+               return t;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn round_trips_unions_and_enums() {
+        round_trip(
+            "enum Color { Red = 0, Green = 1, Blue = 2 };\n\
+             union U { int i; float f; };\n\
+             int main() { U u; u.i = Red; return u.i; }",
+        );
+    }
+
+    #[test]
+    fn declare_handles_arrays_and_fn_pointers() {
+        let arr = Type::plain(TypeKind::Array(Box::new(Type::int()), 5));
+        assert_eq!(declare(&arr, "xs"), "int xs[5]");
+        let fnty = Type::plain(TypeKind::Function(Box::new(FnType {
+            ret: Type::int(),
+            params: vec![Type::int(), Type::int()],
+        })))
+        .pointer_to();
+        assert_eq!(declare(&fnty, "fp"), "int (*fp)(int, int)");
+        assert_eq!(declare(&Type::int().pointer_to(), "p"), "int* p");
+    }
+
+    #[test]
+    fn prints_casts() {
+        round_trip(
+            "struct A { int x; }; struct B : public A { int y; };\n\
+             int main() { A* a = new B(); B* b = (B*)a; B* c = static_cast<B*>(a); return 0; }",
+        );
+    }
+}
+
+#[cfg(test)]
+mod switch_pretty_tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn switch_round_trips_through_the_printer() {
+        let src = "int main() {\n\
+                     int x = 2;\n\
+                     switch (x + 1) {\n\
+                       case 1:\n\
+                         x = 10;\n\
+                         break;\n\
+                       case 2:\n\
+                       default:\n\
+                         x = 30;\n\
+                     }\n\
+                     return x;\n\
+                   }";
+        let tu1 = parse(src).expect("parse");
+        let printed = print_unit(&tu1);
+        let tu2 = parse(&printed).unwrap_or_else(|e| panic!("reparse: {e}\n{printed}"));
+        assert_eq!(printed, print_unit(&tu2), "printer must be a fixpoint");
+        assert_eq!(tu1.functions.len(), tu2.functions.len());
+    }
+}

@@ -1,0 +1,335 @@
+//! The interpreter's object store and the allocation event trace.
+//!
+//! Every class object — stack local, global, or heap-allocated — lives in
+//! the [`ObjectStore`]. Each allocation and deallocation appends an event
+//! to the [`HeapTrace`], timestamped with a logical clock; the profiler
+//! replays the trace against the layout engine to compute the paper's
+//! Table 2 numbers (object space, dead-member space, high-water marks).
+
+use crate::value::{cell, CellRef, ObjId, Value};
+use ddm_cppfront::ast::TypeKind;
+use ddm_hierarchy::{ClassId, MemberRef, Program, SubobjectTree};
+use std::collections::HashMap;
+
+/// How an object was allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// A function-local (stack) object, deallocated at scope exit.
+    Stack,
+    /// A heap object from `new` / `new[]`.
+    Heap,
+    /// A global, live for the entire execution.
+    Global,
+}
+
+/// One allocation or deallocation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapEvent {
+    /// Logical time (monotonically increasing).
+    pub time: u64,
+    /// The object's most-derived class.
+    pub class: ClassId,
+    /// `+1` for allocation, `-1` for deallocation.
+    pub delta: i8,
+    /// How the object was allocated.
+    pub kind: AllocKind,
+}
+
+/// The chronological allocation/deallocation trace of one execution.
+#[derive(Debug, Clone, Default)]
+pub struct HeapTrace {
+    events: Vec<HeapEvent>,
+}
+
+impl HeapTrace {
+    /// The events in chronological order.
+    pub fn events(&self) -> &[HeapEvent] {
+        &self.events
+    }
+
+    /// Number of allocation events.
+    pub fn allocation_count(&self) -> usize {
+        self.events.iter().filter(|e| e.delta > 0).count()
+    }
+
+    fn push(&mut self, ev: HeapEvent) {
+        self.events.push(ev);
+    }
+}
+
+/// A live class object.
+#[derive(Debug)]
+pub struct HeapObject {
+    /// Most-derived class.
+    pub class: ClassId,
+    /// Field storage, one cell per declared member reachable in the
+    /// object (duplicate non-virtual embeddings share a slot; programs
+    /// that need distinct copies would be rejected at lookup anyway).
+    pub fields: HashMap<MemberRef, CellRef>,
+    /// For `new T[n]`: the sibling element objects (index 0 is this one).
+    pub array_elems: Option<Vec<ObjId>>,
+    /// Objects backing by-value class members; their space is part of
+    /// this object's layout, so they record no trace events of their own.
+    pub nested: Vec<ObjId>,
+    /// How the object was allocated.
+    pub kind: AllocKind,
+    /// Whether the object is still live.
+    pub alive: bool,
+    /// True for member subobjects embedded in another object.
+    pub is_nested: bool,
+}
+
+/// The object store plus the logical clock and event trace.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    objects: Vec<HeapObject>,
+    clock: u64,
+    trace: HeapTrace,
+    /// Bytes of live objects right now and the peak (object count proxy;
+    /// byte-accurate numbers come from the profiler replay).
+    live_count: i64,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    /// Advances and returns the logical clock.
+    pub fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Allocates an object of `class`, zero-initializing one cell per
+    /// member of every subobject. By-value class members get recursively
+    /// allocated *nested* objects (wired into the field cells as object
+    /// pointers) whose space is already included in this object's layout,
+    /// so they produce no trace events of their own.
+    pub fn allocate(&mut self, program: &Program, class: ClassId, kind: AllocKind) -> ObjId {
+        let id = self.allocate_inner(program, class, kind, false);
+        let time = self.tick();
+        self.trace.push(HeapEvent {
+            time,
+            class,
+            delta: 1,
+            kind,
+        });
+        self.live_count += 1;
+        id
+    }
+
+    fn allocate_inner(
+        &mut self,
+        program: &Program,
+        class: ClassId,
+        kind: AllocKind,
+        is_nested: bool,
+    ) -> ObjId {
+        let tree = SubobjectTree::build(program, class);
+        let mut fields = HashMap::new();
+        let mut nested = Vec::new();
+        for (_, node) in tree.iter() {
+            let info = program.class(node.class);
+            for (idx, m) in info.members.iter().enumerate() {
+                let mref = MemberRef::new(node.class, idx);
+                if fields.contains_key(&mref) {
+                    continue;
+                }
+                let value = match member_class(program, &m.ty) {
+                    Some(member_class_id) => {
+                        let child = self.allocate_inner(program, member_class_id, kind, true);
+                        nested.push(child);
+                        Value::Ptr(crate::value::PtrTarget::Object(child))
+                    }
+                    None => default_value(program, &m.ty),
+                };
+                fields.insert(mref, cell(value));
+            }
+        }
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(HeapObject {
+            class,
+            fields,
+            array_elems: None,
+            nested,
+            kind,
+            alive: true,
+            is_nested,
+        });
+        id
+    }
+
+    /// Marks `id` deallocated (with its nested member objects) and records
+    /// the event. Idempotent: double frees record nothing.
+    pub fn deallocate(&mut self, id: ObjId) {
+        let obj = &mut self.objects[id.0 as usize];
+        if !obj.alive {
+            return;
+        }
+        obj.alive = false;
+        let class = obj.class;
+        let kind = obj.kind;
+        let is_nested = obj.is_nested;
+        let mut stack = obj.nested.clone();
+        while let Some(c) = stack.pop() {
+            let child = &mut self.objects[c.0 as usize];
+            if child.alive {
+                child.alive = false;
+                stack.extend(child.nested.iter().copied());
+            }
+        }
+        if !is_nested {
+            let time = self.tick();
+            self.trace.push(HeapEvent {
+                time,
+                class,
+                delta: -1,
+                kind,
+            });
+            self.live_count -= 1;
+        }
+    }
+
+    /// The object `id`.
+    pub fn object(&self, id: ObjId) -> &HeapObject {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Mutable access to object `id`.
+    pub fn object_mut(&mut self, id: ObjId) -> &mut HeapObject {
+        &mut self.objects[id.0 as usize]
+    }
+
+    /// The field cell for `member` of object `id`, if present.
+    pub fn field(&self, id: ObjId, member: MemberRef) -> Option<CellRef> {
+        self.objects[id.0 as usize].fields.get(&member).cloned()
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &HeapTrace {
+        &self.trace
+    }
+
+    /// Consumes the store, returning the trace.
+    pub fn into_trace(self) -> HeapTrace {
+        self.trace
+    }
+
+    /// Number of objects currently live.
+    pub fn live_objects(&self) -> i64 {
+        self.live_count
+    }
+
+    /// Total number of objects ever allocated.
+    pub fn total_allocated(&self) -> usize {
+        self.objects.len()
+    }
+}
+
+/// The zero value for a declared type (C++ leaves locals uninitialized;
+/// the deterministic interpreter zero-fills instead, which any
+/// well-defined benchmark cannot observe the difference of).
+#[allow(clippy::only_used_in_recursion)]
+pub fn default_value(program: &Program, ty: &ddm_cppfront::ast::Type) -> Value {
+    match &ty.kind {
+        TypeKind::Float | TypeKind::Double => Value::Float(0.0),
+        TypeKind::Pointer(_) | TypeKind::Reference(_) => Value::null(),
+        TypeKind::MemberPointer { .. } => Value::null(),
+        TypeKind::Array(elem, n) => {
+            let cells = (0..*n)
+                .map(|_| cell(default_value(program, elem)))
+                .collect();
+            Value::Array(std::rc::Rc::new(std::cell::RefCell::new(cells)))
+        }
+        // Direct by-value class members are wired to nested objects by
+        // `ObjectStore::allocate`; arrays of class type are outside the
+        // supported subset and fall back to null.
+        TypeKind::Named(_) => Value::null(),
+        _ => Value::Int(0),
+    }
+}
+
+/// The class id of a *direct* by-value class member type (`N n;`).
+/// Arrays of class type are not part of the supported subset.
+fn member_class(program: &Program, ty: &ddm_cppfront::ast::Type) -> Option<ClassId> {
+    match &ty.kind {
+        TypeKind::Named(n) => program.class_by_name(n),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddm_cppfront::parse;
+
+    fn program(src: &str) -> Program {
+        Program::build(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn allocate_creates_cells_for_all_subobject_members() {
+        let p = program(
+            "class A { public: int a; }; class B : public A { public: int b1; int b2; };\n\
+             int main() { return 0; }",
+        );
+        let mut store = ObjectStore::new();
+        let b = p.class_by_name("B").unwrap();
+        let id = store.allocate(&p, b, AllocKind::Stack);
+        assert_eq!(store.object(id).fields.len(), 3);
+        let a = p.class_by_name("A").unwrap();
+        assert!(store.field(id, MemberRef::new(a, 0)).is_some());
+        assert!(store.field(id, MemberRef::new(b, 1)).is_some());
+    }
+
+    #[test]
+    fn trace_records_alloc_and_dealloc_in_order() {
+        let p = program("class A { public: int x; }; int main() { return 0; }");
+        let a = p.class_by_name("A").unwrap();
+        let mut store = ObjectStore::new();
+        let o1 = store.allocate(&p, a, AllocKind::Heap);
+        let _o2 = store.allocate(&p, a, AllocKind::Heap);
+        store.deallocate(o1);
+        let events = store.trace().events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].delta, 1);
+        assert_eq!(events[2].delta, -1);
+        assert!(events[0].time < events[1].time && events[1].time < events[2].time);
+        assert_eq!(store.trace().allocation_count(), 2);
+        assert_eq!(store.live_objects(), 1);
+    }
+
+    #[test]
+    fn double_free_records_single_event() {
+        let p = program("class A { public: int x; }; int main() { return 0; }");
+        let a = p.class_by_name("A").unwrap();
+        let mut store = ObjectStore::new();
+        let o = store.allocate(&p, a, AllocKind::Heap);
+        store.deallocate(o);
+        store.deallocate(o);
+        assert_eq!(store.trace().events().len(), 2);
+    }
+
+    #[test]
+    fn default_values_by_type() {
+        let p = program("class A { public: int x; }; int main() { return 0; }");
+        assert!(matches!(
+            default_value(&p, &ddm_cppfront::ast::Type::int()),
+            Value::Int(0)
+        ));
+        assert!(matches!(
+            default_value(&p, &ddm_cppfront::ast::Type::plain(TypeKind::Double)),
+            Value::Float(_)
+        ));
+        let arr_ty = ddm_cppfront::ast::Type::plain(TypeKind::Array(
+            Box::new(ddm_cppfront::ast::Type::int()),
+            4,
+        ));
+        match default_value(&p, &arr_ty) {
+            Value::Array(a) => assert_eq!(a.borrow().len(), 4),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Runtime values and storage cells.
+
+use ddm_hierarchy::{FuncId, MemberRef};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A mutable storage cell. Locals, object fields and array elements are
+/// all cells, so pointers can uniformly reference any of them.
+pub type CellRef = Rc<RefCell<Value>>;
+
+/// An array of cells (scalar arrays; object arrays hold `ObjId`s via
+/// pointers stored in the cells).
+pub type ArrayRef = Rc<RefCell<Vec<CellRef>>>;
+
+/// Identifies a class object in the interpreter's object store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// What a pointer value refers to.
+#[derive(Debug, Clone)]
+pub enum PtrTarget {
+    /// The null pointer.
+    Null,
+    /// A class object (the result of `&obj`, `new T`, or `this`).
+    Object(ObjId),
+    /// A scalar storage cell (`&local`, `&obj.member`).
+    Cell(CellRef),
+    /// An element of a scalar array.
+    Element {
+        /// The array.
+        array: ArrayRef,
+        /// Element index.
+        index: usize,
+    },
+}
+
+impl PtrTarget {
+    /// Whether this is the null pointer.
+    pub fn is_null(&self) -> bool {
+        matches!(self, PtrTarget::Null)
+    }
+}
+
+impl PartialEq for PtrTarget {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (PtrTarget::Null, PtrTarget::Null) => true,
+            (PtrTarget::Object(a), PtrTarget::Object(b)) => a == b,
+            (PtrTarget::Cell(a), PtrTarget::Cell(b)) => Rc::ptr_eq(a, b),
+            (
+                PtrTarget::Element { array: a, index: i },
+                PtrTarget::Element { array: b, index: j },
+            ) => Rc::ptr_eq(a, b) && i == j,
+            _ => false,
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Integers, characters, booleans, enumerators.
+    Int(i64),
+    /// `float` / `double`.
+    Float(f64),
+    /// Any data pointer or reference.
+    Ptr(PtrTarget),
+    /// A function pointer.
+    FnPtr(FuncId),
+    /// A pointer to data member (`&C::m`).
+    MemberPtr(MemberRef),
+    /// A string literal.
+    Str(Rc<str>),
+    /// An array value (member or local of array type).
+    Array(ArrayRef),
+    /// The absence of a value (`void` calls).
+    Void,
+}
+
+impl Value {
+    /// The null-pointer value.
+    pub fn null() -> Value {
+        Value::Ptr(PtrTarget::Null)
+    }
+
+    /// C++ truthiness: nonzero numbers and non-null pointers are true.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Ptr(p) => !p.is_null(),
+            Value::FnPtr(_) | Value::MemberPtr(_) | Value::Str(_) | Value::Array(_) => true,
+            Value::Void => false,
+        }
+    }
+
+    /// The integer content, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric content widened to `f64`, if numeric.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Structural equality used by `==` / `!=` at runtime.
+    pub fn runtime_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
+            (Value::Ptr(a), Value::Ptr(b)) => a == b,
+            (Value::FnPtr(a), Value::FnPtr(b)) => a == b,
+            (Value::MemberPtr(a), Value::MemberPtr(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            // Comparing a pointer against literal 0 (pre-nullptr style).
+            (Value::Ptr(p), Value::Int(0)) | (Value::Int(0), Value::Ptr(p)) => p.is_null(),
+            _ => false,
+        }
+    }
+}
+
+/// Creates a fresh cell holding `v`.
+pub fn cell(v: Value) -> CellRef {
+    Rc::new(RefCell::new(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matches_cpp() {
+        assert!(Value::Int(1).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Float(0.5).is_truthy());
+        assert!(!Value::Float(0.0).is_truthy());
+        assert!(!Value::null().is_truthy());
+        assert!(Value::Ptr(PtrTarget::Object(ObjId(3))).is_truthy());
+        assert!(!Value::Void.is_truthy());
+    }
+
+    #[test]
+    fn pointer_equality_is_identity() {
+        let c1 = cell(Value::Int(1));
+        let c2 = cell(Value::Int(1));
+        assert_eq!(PtrTarget::Cell(c1.clone()), PtrTarget::Cell(c1.clone()));
+        assert_ne!(PtrTarget::Cell(c1), PtrTarget::Cell(c2));
+        assert_eq!(PtrTarget::Null, PtrTarget::Null);
+        assert_ne!(PtrTarget::Object(ObjId(1)), PtrTarget::Object(ObjId(2)));
+    }
+
+    #[test]
+    fn element_pointers_compare_by_array_and_index() {
+        let arr: ArrayRef = Rc::new(RefCell::new(vec![cell(Value::Int(0)), cell(Value::Int(1))]));
+        let p0 = PtrTarget::Element {
+            array: arr.clone(),
+            index: 0,
+        };
+        let p0b = PtrTarget::Element {
+            array: arr.clone(),
+            index: 0,
+        };
+        let p1 = PtrTarget::Element {
+            array: arr,
+            index: 1,
+        };
+        assert_eq!(p0, p0b);
+        assert_ne!(p0, p1);
+    }
+
+    #[test]
+    fn null_pointer_equals_literal_zero() {
+        assert!(Value::null().runtime_eq(&Value::Int(0)));
+        assert!(!Value::Ptr(PtrTarget::Object(ObjId(0))).runtime_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn mixed_numeric_equality() {
+        assert!(Value::Int(2).runtime_eq(&Value::Float(2.0)));
+        assert!(!Value::Int(2).runtime_eq(&Value::Float(2.5)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Typed index newtypes used throughout the semantic model.
+
+use std::fmt;
+
+/// Identifies a class in a [`Program`](crate::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClassId(pub(crate) u32);
+
+impl ClassId {
+    /// The raw index into the program's class table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `ClassId` from a raw index. Callers are expected to use
+    /// indices obtained from the same [`Program`](crate::Program).
+    pub fn from_index(i: usize) -> Self {
+        ClassId(i as u32)
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// Identifies a function (free function or method) in a
+/// [`Program`](crate::Program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub(crate) u32);
+
+impl FuncId {
+    /// The raw index into the program's function table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `FuncId` from a raw index.
+    pub fn from_index(i: usize) -> Self {
+        FuncId(i as u32)
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// Identifies a specific data member: the class that *declares* it plus the
+/// index in that class's member list.
+///
+/// This is the unit the dead-member analysis classifies: the paper's
+/// `C::m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemberRef {
+    /// The declaring class.
+    pub class: ClassId,
+    /// Index into the declaring class's data-member list.
+    pub index: u32,
+}
+
+impl MemberRef {
+    /// Creates a member reference.
+    pub fn new(class: ClassId, index: usize) -> Self {
+        MemberRef {
+            class,
+            index: index as u32,
+        }
+    }
+}
+
+impl fmt::Display for MemberRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::member#{}", self.class, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        assert_eq!(ClassId::from_index(7).index(), 7);
+        assert_eq!(FuncId::from_index(3).index(), 3);
+    }
+
+    #[test]
+    fn member_ref_ordering_groups_by_class() {
+        let a = MemberRef::new(ClassId(0), 5);
+        let b = MemberRef::new(ClassId(1), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(ClassId(2).to_string(), "class#2");
+        assert_eq!(
+            MemberRef::new(ClassId(1), 4).to_string(),
+            "class#1::member#4"
+        );
+    }
+}

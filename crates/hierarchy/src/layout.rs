@@ -1,0 +1,543 @@
+//! Object layout.
+//!
+//! Computes byte sizes and member offsets under a documented 1998-era
+//! 32-bit object model (matching the paper's RS/6000 measurements in
+//! spirit):
+//!
+//! * `char`/`bool` = 1 byte, `short` = 2, `int`/`long`/`float` = 4,
+//!   `double` = 8, pointers/references/member-pointers = 4;
+//! * one 4-byte *vptr* in every polymorphic class that cannot reuse the
+//!   vptr of its first non-virtual polymorphic base;
+//! * one 4-byte *vbptr* per direct virtual base;
+//! * members laid out in declaration order with natural alignment;
+//! * non-virtual bases embedded as prefixes in declaration order;
+//! * each virtual base placed exactly once at the end of the most-derived
+//!   object;
+//! * unions overlay all members at offset 0.
+//!
+//! The dynamic measurements (the paper's Table 2 / Figure 4) are sums over
+//! these layouts, so the model is what makes byte counts reproducible.
+
+use crate::ids::{ClassId, MemberRef};
+use crate::model::Program;
+use crate::subobject::SubobjectTree;
+use ddm_cppfront::ast::{ClassKind, Type, TypeKind};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Size of a pointer in the modelled ABI (32-bit, 1998-era).
+pub const POINTER_SIZE: u32 = 4;
+/// Size of the virtual-table pointer.
+pub const VPTR_SIZE: u32 = 4;
+/// Size of a virtual-base pointer.
+pub const VBPTR_SIZE: u32 = 4;
+
+/// One data member's placement inside a complete object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSlot {
+    /// Which declared member occupies the slot. Members of a base class
+    /// embedded twice produce two slots with the same `member`.
+    pub member: MemberRef,
+    /// Byte offset from the start of the complete object.
+    pub offset: u32,
+    /// Size in bytes.
+    pub size: u32,
+}
+
+/// The computed layout of a complete object of one class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassLayout {
+    /// Total size of a complete object in bytes (at least 1, like C++).
+    pub size: u32,
+    /// Alignment of the class.
+    pub align: u32,
+    /// Size when embedded as a non-virtual base subobject (excludes
+    /// virtual bases, which the most-derived object places).
+    pub nv_size: u32,
+    /// Every data-member slot of a complete object, in offset order.
+    pub fields: Vec<FieldSlot>,
+    /// Whether the object contains at least one vptr.
+    pub has_vptr: bool,
+    /// Total bytes of overhead pointers (vptrs + vbptrs) in the object.
+    pub overhead: u32,
+}
+
+impl ClassLayout {
+    /// Sum of the sizes of slots whose member satisfies `pred`. Used by the
+    /// dynamic profiler to compute the bytes occupied by dead members.
+    pub fn bytes_where(&self, mut pred: impl FnMut(MemberRef) -> bool) -> u32 {
+        self.fields
+            .iter()
+            .filter(|f| pred(f.member))
+            .map(|f| f.size)
+            .sum()
+    }
+}
+
+/// Per-class non-virtual shape, cached.
+#[derive(Debug, Clone)]
+struct NvShape {
+    nv_size: u32,
+    align: u32,
+    has_own_vptr: bool,
+    /// Offsets of this class's own members, relative to subobject start.
+    member_offsets: Vec<u32>,
+    /// Offsets of non-virtual direct base subobjects, relative to
+    /// subobject start (parallel to the non-virtual entries of `bases`).
+    nv_base_offsets: Vec<u32>,
+    /// Overhead bytes contributed directly by this subobject
+    /// (own vptr + vbptrs).
+    own_overhead: u32,
+}
+
+/// Layout computation service with per-class caching.
+///
+/// # Examples
+///
+/// ```
+/// use ddm_hierarchy::{Program, LayoutEngine};
+/// let tu = ddm_cppfront::parse(
+///     "class P { public: char c; int x; }; int main() { P p; return 0; }",
+/// ).unwrap();
+/// let program = Program::build(&tu).unwrap();
+/// let layouts = LayoutEngine::new(&program);
+/// let p = program.class_by_name("P").unwrap();
+/// let layout = layouts.layout(p);
+/// assert_eq!(layout.size, 8); // char, 3 padding, int
+/// ```
+pub struct LayoutEngine<'p> {
+    program: &'p Program,
+    shapes: RefCell<HashMap<ClassId, NvShape>>,
+    layouts: RefCell<HashMap<ClassId, std::rc::Rc<ClassLayout>>>,
+}
+
+impl<'p> LayoutEngine<'p> {
+    /// Creates a layout engine for `program`.
+    pub fn new(program: &'p Program) -> Self {
+        LayoutEngine {
+            program,
+            shapes: RefCell::new(HashMap::new()),
+            layouts: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Size in bytes of a value of `ty`.
+    pub fn type_size(&self, ty: &Type) -> u32 {
+        match &ty.kind {
+            TypeKind::Void => 0,
+            TypeKind::Bool | TypeKind::Char => 1,
+            TypeKind::Short => 2,
+            TypeKind::Int | TypeKind::Long | TypeKind::Float => 4,
+            TypeKind::Double => 8,
+            TypeKind::Pointer(_) | TypeKind::Reference(_) => POINTER_SIZE,
+            TypeKind::MemberPointer { .. } => POINTER_SIZE,
+            TypeKind::Function(_) => POINTER_SIZE,
+            TypeKind::Array(inner, n) => self.type_size(inner) * (*n as u32),
+            TypeKind::Named(name) => match self.program.class_by_name(name) {
+                Some(id) => self.layout(id).size,
+                None => 0,
+            },
+        }
+    }
+
+    /// Alignment in bytes of a value of `ty`.
+    pub fn type_align(&self, ty: &Type) -> u32 {
+        match &ty.kind {
+            TypeKind::Void => 1,
+            TypeKind::Bool | TypeKind::Char => 1,
+            TypeKind::Short => 2,
+            TypeKind::Int | TypeKind::Long | TypeKind::Float => 4,
+            TypeKind::Double => 8,
+            TypeKind::Pointer(_) | TypeKind::Reference(_) => POINTER_SIZE,
+            TypeKind::MemberPointer { .. } => POINTER_SIZE,
+            TypeKind::Function(_) => POINTER_SIZE,
+            TypeKind::Array(inner, _) => self.type_align(inner),
+            TypeKind::Named(name) => match self.program.class_by_name(name) {
+                Some(id) => self.layout(id).align,
+                None => 1,
+            },
+        }
+    }
+
+    /// The complete-object layout of `class` (cached).
+    pub fn layout(&self, class: ClassId) -> std::rc::Rc<ClassLayout> {
+        if let Some(l) = self.layouts.borrow().get(&class) {
+            return l.clone();
+        }
+        let layout = std::rc::Rc::new(self.compute_layout(class));
+        self.layouts.borrow_mut().insert(class, layout.clone());
+        layout
+    }
+
+    /// True if `class` has virtual methods (directly or inherited).
+    pub fn is_polymorphic(&self, class: ClassId) -> bool {
+        let info = self.program.class(class);
+        info.methods
+            .iter()
+            .any(|&f| self.program.function(f).is_virtual)
+            || info.bases.iter().any(|b| self.is_polymorphic(b.id))
+    }
+
+    fn shape(&self, class: ClassId) -> NvShape {
+        if let Some(s) = self.shapes.borrow().get(&class) {
+            return s.clone();
+        }
+        let s = self.compute_shape(class);
+        self.shapes.borrow_mut().insert(class, s.clone());
+        s
+    }
+
+    fn compute_shape(&self, class: ClassId) -> NvShape {
+        let info = self.program.class(class);
+        if info.kind == ClassKind::Union {
+            let mut size = 0u32;
+            let mut align = 1u32;
+            for m in &info.members {
+                size = size.max(self.type_size(&m.ty));
+                align = align.max(self.type_align(&m.ty));
+            }
+            return NvShape {
+                nv_size: round_up(size.max(1), align),
+                align,
+                has_own_vptr: false,
+                member_offsets: vec![0; info.members.len()],
+                nv_base_offsets: Vec::new(),
+                own_overhead: 0,
+            };
+        }
+
+        let mut offset = 0u32;
+        let mut align = 1u32;
+        let mut nv_base_offsets = Vec::new();
+        let mut own_overhead = 0u32;
+
+        // Does the first non-virtual base already carry a vptr we can reuse?
+        let first_nv_base_polymorphic = info
+            .bases
+            .iter()
+            .find(|b| !b.is_virtual)
+            .map(|b| self.is_polymorphic(b.id))
+            .unwrap_or(false);
+        let has_own_vptr = self.is_polymorphic(class) && !first_nv_base_polymorphic;
+        if has_own_vptr {
+            offset += VPTR_SIZE;
+            align = align.max(POINTER_SIZE);
+            own_overhead += VPTR_SIZE;
+        }
+
+        // Non-virtual bases embedded in declaration order.
+        for b in &info.bases {
+            if b.is_virtual {
+                continue;
+            }
+            let bshape = self.shape(b.id);
+            offset = round_up(offset, bshape.align);
+            nv_base_offsets.push(offset);
+            offset += bshape.nv_size;
+            align = align.max(bshape.align);
+        }
+
+        // One vbptr per direct virtual base.
+        for b in &info.bases {
+            if b.is_virtual {
+                offset = round_up(offset, POINTER_SIZE);
+                offset += VBPTR_SIZE;
+                align = align.max(POINTER_SIZE);
+                own_overhead += VBPTR_SIZE;
+            }
+        }
+
+        // Own members with natural alignment.
+        let mut member_offsets = Vec::with_capacity(info.members.len());
+        for m in &info.members {
+            let msize = self.type_size(&m.ty);
+            let malign = self.type_align(&m.ty);
+            offset = round_up(offset, malign);
+            member_offsets.push(offset);
+            offset += msize;
+            align = align.max(malign);
+        }
+
+        NvShape {
+            nv_size: round_up(offset.max(1), align),
+            align,
+            has_own_vptr,
+            member_offsets,
+            nv_base_offsets,
+            own_overhead,
+        }
+    }
+
+    fn compute_layout(&self, class: ClassId) -> ClassLayout {
+        let tree = SubobjectTree::build(self.program, class);
+        // Assign an offset to every subobject: the root at 0, non-virtual
+        // base children at their embedded offsets, virtual bases appended
+        // after the root's non-virtual size.
+        let mut offsets: HashMap<usize, u32> = HashMap::new();
+        let root_shape = self.shape(class);
+        offsets.insert(tree.root().index(), 0);
+        let mut align = root_shape.align;
+        let mut end = root_shape.nv_size;
+        let mut has_vptr = root_shape.has_own_vptr;
+        let mut overhead = 0u32;
+
+        // Place virtual bases (each exactly once) after the nv part, in
+        // first-encounter order.
+        for &(vclass, vnode) in tree.virtual_bases() {
+            let vshape = self.shape(vclass);
+            let at = round_up(end, vshape.align);
+            offsets.insert(vnode.index(), at);
+            end = at + vshape.nv_size;
+            align = align.max(vshape.align);
+        }
+
+        // Propagate offsets down through non-virtual embeddings (BFS from
+        // every already-placed node).
+        let mut work: Vec<crate::subobject::SubobjectId> = tree.iter().map(|(id, _)| id).collect();
+        // Iterate until fixpoint (tree is small; a node's offset becomes
+        // known once its parent's is).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &sid in &work {
+                let Some(&base_off) = offsets.get(&sid.index()) else {
+                    continue;
+                };
+                let node = tree.node(sid);
+                let shape = self.shape(node.class);
+                let mut nv_i = 0;
+                let class_bases = &self.program.class(node.class).bases;
+                for (edge_i, &child) in node.bases.iter().enumerate() {
+                    if class_bases[edge_i].is_virtual {
+                        continue; // placed globally above
+                    }
+                    let child_off = base_off + shape.nv_base_offsets[nv_i];
+                    nv_i += 1;
+                    if offsets.insert(child.index(), child_off).is_none() {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        work.clear();
+
+        // Emit field slots and accumulate overhead.
+        let mut fields = Vec::new();
+        for (sid, node) in tree.iter() {
+            let off = offsets[&sid.index()];
+            let shape = self.shape(node.class);
+            has_vptr |= shape.has_own_vptr;
+            overhead += shape.own_overhead;
+            let info = self.program.class(node.class);
+            for (mi, m) in info.members.iter().enumerate() {
+                fields.push(FieldSlot {
+                    member: MemberRef::new(node.class, mi),
+                    offset: off + shape.member_offsets[mi],
+                    size: self.type_size(&m.ty),
+                });
+            }
+        }
+        fields.sort_by_key(|f| (f.offset, f.member));
+
+        ClassLayout {
+            size: round_up(end.max(1), align),
+            align,
+            nv_size: root_shape.nv_size,
+            fields,
+            has_vptr,
+            overhead,
+        }
+    }
+}
+
+fn round_up(v: u32, align: u32) -> u32 {
+    debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddm_cppfront::parse;
+
+    fn program(src: &str) -> Program {
+        Program::build(&parse(src).expect("parse")).expect("sema")
+    }
+
+    fn layout_of(src: &str, name: &str) -> ClassLayout {
+        let p = program(src);
+        let eng = LayoutEngine::new(&p);
+        (*eng.layout(p.class_by_name(name).unwrap())).clone()
+    }
+
+    #[test]
+    fn scalar_members_with_padding() {
+        let l = layout_of(
+            "class P { public: char c; int x; short s; }; int main() { return 0; }",
+            "P",
+        );
+        // c @0, pad, x @4, s @8, pad to align 4 → 12.
+        assert_eq!(l.fields[0].offset, 0);
+        assert_eq!(l.fields[1].offset, 4);
+        assert_eq!(l.fields[2].offset, 8);
+        assert_eq!(l.size, 12);
+        assert_eq!(l.align, 4);
+        assert!(!l.has_vptr);
+        assert_eq!(l.overhead, 0);
+    }
+
+    #[test]
+    fn double_forces_eight_byte_alignment() {
+        let l = layout_of(
+            "class P { public: int x; double d; }; int main() { return 0; }",
+            "P",
+        );
+        assert_eq!(l.fields[1].offset, 8);
+        assert_eq!(l.size, 16);
+        assert_eq!(l.align, 8);
+    }
+
+    #[test]
+    fn empty_class_has_size_one() {
+        let l = layout_of("class E { }; int main() { return 0; }", "E");
+        assert_eq!(l.size, 1);
+        assert!(l.fields.is_empty());
+    }
+
+    #[test]
+    fn polymorphic_class_gets_vptr() {
+        let l = layout_of(
+            "class A { public: virtual int f() { return 0; } int x; }; int main() { return 0; }",
+            "A",
+        );
+        assert!(l.has_vptr);
+        assert_eq!(l.fields[0].offset, 4, "member placed after the vptr");
+        assert_eq!(l.size, 8);
+        assert_eq!(l.overhead, 4);
+    }
+
+    #[test]
+    fn derived_reuses_base_vptr() {
+        let l = layout_of(
+            "class A { public: virtual int f() { return 0; } int x; };\n\
+             class B : public A { public: virtual int f() { return 1; } int y; };\n\
+             int main() { return 0; }",
+            "B",
+        );
+        // A subobject: vptr@0 x@4 (8 bytes); B adds y@8 → 12; no second vptr.
+        assert_eq!(l.size, 12);
+        assert_eq!(l.overhead, 4);
+        let y = l.fields.iter().find(|f| f.offset == 8).unwrap();
+        assert_eq!(y.size, 4);
+    }
+
+    #[test]
+    fn nonvirtual_base_embedded_as_prefix() {
+        let l = layout_of(
+            "class A { public: int a; }; class B : public A { public: int b; };\n\
+             int main() { return 0; }",
+            "B",
+        );
+        assert_eq!(l.fields.len(), 2);
+        assert_eq!(l.fields[0].offset, 0);
+        assert_eq!(l.fields[1].offset, 4);
+        assert_eq!(l.size, 8);
+    }
+
+    #[test]
+    fn nonvirtual_diamond_duplicates_base_members() {
+        let l = layout_of(
+            "class Top { public: int t; };\n\
+             class L : public Top { public: int l; };\n\
+             class R : public Top { public: int r; };\n\
+             class D : public L, public R { public: int d; };\n\
+             int main() { return 0; }",
+            "D",
+        );
+        // Two copies of Top::t → 5 slots total, size 20.
+        assert_eq!(l.fields.len(), 5);
+        assert_eq!(l.size, 20);
+        let t_slots: Vec<_> = l
+            .fields
+            .iter()
+            .filter(|f| f.member.index == 0 && f.size == 4)
+            .collect();
+        assert!(t_slots.len() >= 2);
+    }
+
+    #[test]
+    fn virtual_diamond_shares_base_and_pays_vbptrs() {
+        let l = layout_of(
+            "class Top { public: int t; };\n\
+             class L : public virtual Top { public: int l; };\n\
+             class R : public virtual Top { public: int r; };\n\
+             class D : public L, public R { public: int d; };\n\
+             int main() { return 0; }",
+            "D",
+        );
+        // L: vbptr(4) + l(4) = 8 nv; R likewise; D: L(8) + R(8) + d(4) = 20 nv;
+        // Top placed once at 20 → size 24. Overhead: two vbptrs = 8.
+        assert_eq!(l.fields.len(), 4, "Top::t appears exactly once");
+        assert_eq!(l.size, 24);
+        assert_eq!(l.overhead, 8);
+        let top_slot = l.fields.iter().find(|f| f.offset == 20).unwrap();
+        assert_eq!(top_slot.size, 4);
+    }
+
+    #[test]
+    fn union_overlays_members() {
+        let l = layout_of(
+            "union U { int i; double d; char c; }; int main() { return 0; }",
+            "U",
+        );
+        assert_eq!(l.size, 8);
+        assert!(l.fields.iter().all(|f| f.offset == 0));
+    }
+
+    #[test]
+    fn nested_class_member_uses_complete_size() {
+        let l = layout_of(
+            "class Inner { public: int a; int b; };\n\
+             class Outer { public: char c; Inner in; int z; };\n\
+             int main() { return 0; }",
+            "Outer",
+        );
+        // c@0, in@4 (8 bytes), z@12 → 16.
+        assert_eq!(l.size, 16);
+        let inner_field = l.fields.iter().find(|f| f.size == 8).unwrap();
+        assert_eq!(inner_field.offset, 4);
+    }
+
+    #[test]
+    fn arrays_multiply_sizes() {
+        let p = program("class A { public: int buf[10]; char tag[3]; }; int main() { return 0; }");
+        let eng = LayoutEngine::new(&p);
+        let l = eng.layout(p.class_by_name("A").unwrap());
+        assert_eq!(l.fields[0].size, 40);
+        assert_eq!(l.fields[1].size, 3);
+        assert_eq!(l.size, 44);
+    }
+
+    #[test]
+    fn bytes_where_counts_selected_members() {
+        let p = program("class A { public: int x; char c; double d; }; int main() { return 0; }");
+        let eng = LayoutEngine::new(&p);
+        let a = p.class_by_name("A").unwrap();
+        let l = eng.layout(a);
+        let all = l.bytes_where(|_| true);
+        assert_eq!(all, 13);
+        let only_x = l.bytes_where(|m| m.index == 0);
+        assert_eq!(only_x, 4);
+    }
+
+    #[test]
+    fn pointer_members_are_four_bytes() {
+        let l = layout_of(
+            "class A { public: A* next; int (*fp)(int); int A::* pm; };\n\
+             int main() { return 0; }",
+            "A",
+        );
+        assert!(l.fields.iter().all(|f| f.size == 4));
+        assert_eq!(l.size, 12);
+    }
+}

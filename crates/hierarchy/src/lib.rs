@@ -1,0 +1,48 @@
+//! # ddm-hierarchy
+//!
+//! Semantic layer for the dead-data-member study: a resolved program
+//! model ([`Program`]), subobject trees, C++ member lookup with the
+//! dominance rule ([`MemberLookup`]), a 32-bit object-layout engine
+//! ([`LayoutEngine`]), a typed body walker ([`walk_function`]) that both
+//! the call-graph builders and the dead-member analysis consume, and the
+//! used-class computation ([`used_classes`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use ddm_hierarchy::{Program, MemberLookup, LayoutEngine};
+//!
+//! let tu = ddm_cppfront::parse(
+//!     "class A { public: int x; }; class B : public A { public: int y; };\n\
+//!      int main() { B b; return b.x + b.y; }",
+//! )?;
+//! let program = Program::build(&tu)?;
+//! let lookup = MemberLookup::new(&program);
+//! let layouts = LayoutEngine::new(&program);
+//! let b = program.class_by_name("B").unwrap();
+//! assert_eq!(layouts.layout(b).size, 8);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ids;
+pub mod layout;
+pub mod lookup;
+pub mod model;
+pub mod subobject;
+pub mod typewalk;
+pub mod used;
+
+pub use ids::{ClassId, FuncId, MemberRef};
+pub use layout::{ClassLayout, FieldSlot, LayoutEngine};
+pub use lookup::{Found, LookupError, MemberLookup};
+pub use model::{
+    by_value_class, BaseInfo, ClassInfo, FunctionInfo, GlobalInfo, MemberInfo, Program, SemaError,
+    SemaErrorKind,
+};
+pub use subobject::{Subobject, SubobjectId, SubobjectTree};
+pub use typewalk::{
+    resolve_ctor, walk_function, walk_globals, Builtin, CallEvent, CallTarget, CastEvent,
+    DeleteEvent, EventVisitor, InstantiationEvent, InstantiationKind, MemberAccessEvent, TypeError,
+    TypeErrorKind,
+};
+pub use used::{data_members_in_used_classes, used_classes};

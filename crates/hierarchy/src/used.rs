@@ -1,0 +1,166 @@
+//! Used-class computation.
+//!
+//! The paper's Table 1 counts *used classes*: "classes for which a
+//! constructor is called in user code". A class is used if it is
+//! instantiated anywhere in the program text (local, heap, or global), or
+//! if it is a base class or by-value member class of a used class (those
+//! constructors run implicitly).
+//!
+//! Data members in *unused* classes are excluded from the paper's static
+//! percentages, "since eliminating such members does not affect the size
+//! of any objects that are created at run-time" (§4.2).
+
+use crate::ids::ClassId;
+use crate::lookup::MemberLookup;
+use crate::model::{by_value_class, Program};
+use crate::typewalk::{walk_function, walk_globals, EventVisitor, InstantiationEvent, TypeError};
+use std::collections::HashSet;
+
+struct InstantiationCollector {
+    seeds: HashSet<ClassId>,
+}
+
+impl EventVisitor for InstantiationCollector {
+    fn instantiation(&mut self, ev: &InstantiationEvent) {
+        self.seeds.insert(ev.class);
+    }
+}
+
+/// Computes the set of used classes of `program`.
+///
+/// # Errors
+///
+/// Propagates [`TypeError`]s from walking function bodies.
+///
+/// # Examples
+///
+/// ```
+/// use ddm_hierarchy::{Program, MemberLookup, used_classes};
+/// let tu = ddm_cppfront::parse(
+///     "class Used { public: int a; }; class Unused { public: int b; };\n\
+///      int main() { Used u; return u.a; }",
+/// ).unwrap();
+/// let program = Program::build(&tu).unwrap();
+/// let lookup = MemberLookup::new(&program);
+/// let used = used_classes(&program, &lookup).unwrap();
+/// assert!(used.contains(&program.class_by_name("Used").unwrap()));
+/// assert!(!used.contains(&program.class_by_name("Unused").unwrap()));
+/// ```
+pub fn used_classes(
+    program: &Program,
+    lookup: &MemberLookup<'_>,
+) -> Result<HashSet<ClassId>, TypeError> {
+    let mut collector = InstantiationCollector {
+        seeds: HashSet::new(),
+    };
+    for (fid, f) in program.functions() {
+        if f.body.is_some() || !f.inits.is_empty() {
+            walk_function(program, lookup, fid, &mut collector)?;
+        }
+    }
+    walk_globals(program, lookup, &mut collector)?;
+
+    // Closure: instantiating a class constructs its bases and by-value
+    // member classes.
+    let mut used = HashSet::new();
+    let mut stack: Vec<ClassId> = collector.seeds.into_iter().collect();
+    while let Some(c) = stack.pop() {
+        if !used.insert(c) {
+            continue;
+        }
+        let info = program.class(c);
+        for b in &info.bases {
+            stack.push(b.id);
+        }
+        for m in &info.members {
+            if let Some(name) = by_value_class(&m.ty) {
+                if let Some(id) = program.class_by_name(name) {
+                    stack.push(id);
+                }
+            }
+        }
+    }
+    Ok(used)
+}
+
+/// Counts data members declared in used classes (the denominator of the
+/// paper's Figure 3 percentages and the last column of Table 1).
+pub fn data_members_in_used_classes(program: &Program, used: &HashSet<ClassId>) -> usize {
+    program
+        .classes()
+        .filter(|(id, _)| used.contains(id))
+        .map(|(_, c)| c.members.len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddm_cppfront::parse;
+
+    fn compute(src: &str) -> (Program, HashSet<ClassId>) {
+        let tu = parse(src).expect("parse");
+        let p = Program::build(&tu).expect("sema");
+        let used = {
+            let lk = MemberLookup::new(&p);
+            used_classes(&p, &lk).expect("walk")
+        };
+        (p, used)
+    }
+
+    #[test]
+    fn locals_heap_and_globals_seed_usage() {
+        let (p, used) = compute(
+            "class L { }; class H { }; class G { }; class U { };\n\
+             G g;\n\
+             int main() { L l; H* h = new H(); delete h; return 0; }",
+        );
+        assert!(used.contains(&p.class_by_name("L").unwrap()));
+        assert!(used.contains(&p.class_by_name("H").unwrap()));
+        assert!(used.contains(&p.class_by_name("G").unwrap()));
+        assert!(!used.contains(&p.class_by_name("U").unwrap()));
+    }
+
+    #[test]
+    fn bases_of_used_classes_are_used() {
+        let (p, used) = compute(
+            "class Base { public: int b; }; class Derived : public Base { };\n\
+             class OtherBase { };\n\
+             int main() { Derived d; return 0; }",
+        );
+        assert!(used.contains(&p.class_by_name("Base").unwrap()));
+        assert!(used.contains(&p.class_by_name("Derived").unwrap()));
+        assert!(!used.contains(&p.class_by_name("OtherBase").unwrap()));
+    }
+
+    #[test]
+    fn by_value_members_are_used_pointer_members_are_not() {
+        let (p, used) = compute(
+            "class Embedded { public: int e; }; class Pointed { public: int p; };\n\
+             class Holder { public: Embedded em; Pointed* pp; };\n\
+             int main() { Holder h; return 0; }",
+        );
+        assert!(used.contains(&p.class_by_name("Embedded").unwrap()));
+        assert!(!used.contains(&p.class_by_name("Pointed").unwrap()));
+    }
+
+    #[test]
+    fn instantiation_in_unreachable_function_still_counts_as_used() {
+        // "Used" is a static, whole-program-text notion in Table 1.
+        let (p, used) = compute(
+            "class OnlyInDeadCode { };\n\
+             void never_called() { OnlyInDeadCode x; }\n\
+             int main() { return 0; }",
+        );
+        assert!(used.contains(&p.class_by_name("OnlyInDeadCode").unwrap()));
+    }
+
+    #[test]
+    fn member_counting_in_used_classes() {
+        let (p, used) = compute(
+            "class A { public: int a1; int a2; }; class B { public: int b1; };\n\
+             int main() { A a; return 0; }",
+        );
+        assert_eq!(data_members_in_used_classes(&p, &used), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Dynamic space profiling: executes benchmarks in the interpreter and
+//! reproduces the paper's Table 2 measurements for them — total object
+//! space, dead-member space, and the two high-water marks.
+//!
+//! ```sh
+//! cargo run --release --example space_profile
+//! ```
+
+use dead_data_members::dynamic::{profile_trace, Interpreter, RunConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for name in ["richards", "hotwire", "sched"] {
+        let bench = dead_data_members::benchmarks::by_name(name).expect("suite benchmark");
+        let run = bench.analyze()?;
+        let exec = Interpreter::new(run.program()).run(&RunConfig::default())?;
+        let profile = profile_trace(run.program(), &exec.trace, run.liveness());
+
+        println!("== {name} (exit code {})", exec.exit_code);
+        println!("   objects allocated:        {}", profile.objects_allocated);
+        println!(
+            "   object space:             {} bytes",
+            profile.object_space
+        );
+        println!(
+            "   dead data member space:   {} bytes ({:.1}%)",
+            profile.dead_member_space,
+            profile.dead_space_percentage()
+        );
+        println!(
+            "   high water mark:          {} bytes",
+            profile.high_water_mark
+        );
+        println!(
+            "   high water mark w/o dead: {} bytes ({:.1}% reduction)",
+            profile.high_water_mark_without_dead,
+            profile.high_water_mark_reduction()
+        );
+        if profile.high_water_mark == profile.object_space {
+            println!("   (allocate-and-hold: HWM equals total, like the paper's sched/hotwire)");
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,217 @@
+//! `ddm` — command-line driver for the dead-data-member detector.
+//!
+//! ```text
+//! ddm <file.cpp> [options]
+//!
+//! options:
+//!   --callgraph <rta|pta|cha|everything>   call-graph builder (default rta)
+//!   --library <Class,Class,...>        classes whose source is unavailable (§3.3)
+//!   --sizeof-conservative              treat sizeof conservatively (§3.2; default: ignore)
+//!   --unsafe-downcasts                 treat down-casts as unsafe (default: assume verified)
+//!   --run                              execute the program and print its output
+//!   --profile                          execute and print the Table-2 style heap profile
+//!   --eliminate <out.cpp>              write transformed source with dead members removed
+//!   --layout                           print the object layout of every class
+//! ```
+
+use dead_data_members::analysis::{eliminate, AnalysisConfig, AnalysisPipeline, SizeofPolicy};
+use dead_data_members::callgraph::Algorithm;
+use dead_data_members::dynamic::{profile_trace, Interpreter, RunConfig};
+use std::process::ExitCode;
+
+struct Options {
+    file: String,
+    algorithm: Algorithm,
+    library: Vec<String>,
+    sizeof_conservative: bool,
+    unsafe_downcasts: bool,
+    run: bool,
+    profile: bool,
+    layout: bool,
+    eliminate_to: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        file: String::new(),
+        algorithm: Algorithm::Rta,
+        library: Vec::new(),
+        sizeof_conservative: false,
+        unsafe_downcasts: false,
+        run: false,
+        profile: false,
+        layout: false,
+        eliminate_to: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--callgraph" => {
+                let v = args.next().ok_or("--callgraph needs a value")?;
+                opts.algorithm = match v.as_str() {
+                    "rta" => Algorithm::Rta,
+                    "pta" => Algorithm::Pta,
+                    "cha" => Algorithm::Cha,
+                    "everything" => Algorithm::Everything,
+                    other => return Err(format!("unknown call-graph builder `{other}`")),
+                };
+            }
+            "--library" => {
+                let v = args.next().ok_or("--library needs a value")?;
+                opts.library
+                    .extend(v.split(',').map(|s| s.trim().to_string()));
+            }
+            "--sizeof-conservative" => opts.sizeof_conservative = true,
+            "--unsafe-downcasts" => opts.unsafe_downcasts = true,
+            "--run" => opts.run = true,
+            "--profile" => opts.profile = true,
+            "--layout" => opts.layout = true,
+            "--eliminate" => {
+                opts.eliminate_to = Some(args.next().ok_or("--eliminate needs a path")?);
+            }
+            "--help" | "-h" => return Err("help".to_string()),
+            other if opts.file.is_empty() && !other.starts_with('-') => {
+                opts.file = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if opts.file.is_empty() {
+        return Err("no input file given".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("usage: ddm <file.cpp> [--callgraph rta|pta|cha|everything] [--library A,B]");
+            eprintln!("           [--sizeof-conservative] [--unsafe-downcasts]");
+            eprintln!("           [--run] [--profile] [--layout] [--eliminate out.cpp]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.file);
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = AnalysisConfig {
+        sizeof_policy: if opts.sizeof_conservative {
+            SizeofPolicy::Conservative
+        } else {
+            SizeofPolicy::Ignore
+        },
+        assume_safe_downcasts: !opts.unsafe_downcasts,
+        library_classes: opts.library.iter().cloned().collect(),
+    };
+    let pipeline = match AnalysisPipeline::with_config(&source, config, opts.algorithm) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = pipeline.report();
+    println!("{report}");
+    println!(
+        "call graph ({}): {} reachable functions, {} edges",
+        pipeline.callgraph().algorithm(),
+        pipeline.callgraph().reachable_count(),
+        pipeline.callgraph().edge_count()
+    );
+
+    if opts.layout {
+        use dead_data_members::hierarchy::LayoutEngine;
+        let layouts = LayoutEngine::new(pipeline.program());
+        for (cid, class) in pipeline.program().classes() {
+            let layout = layouts.layout(cid);
+            println!(
+                "layout {} : size {} align {}{}{}",
+                class.name,
+                layout.size,
+                layout.align,
+                if layout.has_vptr { ", vptr" } else { "" },
+                if layout.overhead > 0 {
+                    format!(", {} overhead bytes", layout.overhead)
+                } else {
+                    String::new()
+                }
+            );
+            for slot in &layout.fields {
+                let owner = &pipeline.program().class(slot.member.class).name;
+                let member = &pipeline.program().class(slot.member.class).members
+                    [slot.member.index as usize];
+                let marker = if pipeline.liveness().is_dead(slot.member) {
+                    " [DEAD]"
+                } else {
+                    ""
+                };
+                println!(
+                    "    +{:<4} {:<4} {}::{}{}",
+                    slot.offset, slot.size, owner, member.name, marker
+                );
+            }
+        }
+    }
+
+    if opts.run || opts.profile {
+        match Interpreter::new(pipeline.program()).run(&RunConfig::default()) {
+            Ok(exec) => {
+                if opts.run {
+                    print!("{}", exec.output);
+                    println!("[exit code {}]", exec.exit_code);
+                }
+                if opts.profile {
+                    let p = profile_trace(pipeline.program(), &exec.trace, pipeline.liveness());
+                    println!("objects allocated:        {}", p.objects_allocated);
+                    println!("object space:             {} bytes", p.object_space);
+                    println!(
+                        "dead data member space:   {} bytes ({:.1}%)",
+                        p.dead_member_space,
+                        p.dead_space_percentage()
+                    );
+                    println!("high water mark:          {} bytes", p.high_water_mark);
+                    println!(
+                        "high water mark w/o dead: {} bytes ({:.1}% reduction)",
+                        p.high_water_mark_without_dead,
+                        p.high_water_mark_reduction()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("runtime error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(out) = opts.eliminate_to {
+        let result = eliminate(&pipeline);
+        if let Err(e) = std::fs::write(&out, &result.source) {
+            eprintln!("error: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "eliminated {} dead member(s) -> {out}",
+            result.removed.len()
+        );
+        for name in &result.removed {
+            println!("  removed {name}");
+        }
+        for (name, why) in &result.kept {
+            println!("  kept    {name} ({why})");
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,97 @@
+//! Smoke tests for the `ddm` command-line driver, exercising the built
+//! binary end-to-end the way a user would.
+
+use std::process::Command;
+
+fn ddm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ddm"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("ddm_cli_{name}_{}.cpp", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp source");
+    path
+}
+
+const SAMPLE: &str = "class A { public: int live; int dead; };\n\
+                      int main() { A a; a.dead = 1; print_int(a.live); return a.live; }";
+
+#[test]
+fn analyze_reports_dead_members() {
+    let src = write_temp("analyze", SAMPLE);
+    let out = ddm().arg(&src).output().expect("run ddm");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DEAD dead"), "{stdout}");
+    assert!(stdout.contains("live live (read)"), "{stdout}");
+    assert!(stdout.contains("call graph (RTA)"), "{stdout}");
+}
+
+#[test]
+fn run_flag_executes_the_program() {
+    let src = write_temp("run", SAMPLE);
+    let out = ddm().arg(&src).arg("--run").output().expect("run ddm");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[exit code 0]"), "{stdout}");
+}
+
+#[test]
+fn profile_flag_prints_heap_numbers() {
+    let src = write_temp("profile", SAMPLE);
+    let out = ddm().arg(&src).arg("--profile").output().expect("run ddm");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("object space:"), "{stdout}");
+    assert!(stdout.contains("dead data member space:"), "{stdout}");
+}
+
+#[test]
+fn eliminate_flag_writes_transformed_source() {
+    let src = write_temp("elim", SAMPLE);
+    let out_path =
+        std::env::temp_dir().join(format!("ddm_cli_elim_out_{}.cpp", std::process::id()));
+    let out = ddm()
+        .arg(&src)
+        .arg("--eliminate")
+        .arg(&out_path)
+        .output()
+        .expect("run ddm");
+    assert!(out.status.success(), "{out:?}");
+    let transformed = std::fs::read_to_string(&out_path).expect("read output");
+    assert!(!transformed.contains("int dead;"), "{transformed}");
+    assert!(transformed.contains("int live;"), "{transformed}");
+}
+
+#[test]
+fn callgraph_flag_switches_builder() {
+    let src = write_temp("cg", SAMPLE);
+    for (flag, label) in [("cha", "CHA"), ("everything", "everything"), ("rta", "RTA")] {
+        let out = ddm()
+            .arg(&src)
+            .arg("--callgraph")
+            .arg(flag)
+            .output()
+            .expect("run ddm");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!("call graph ({label})")),
+            "{stdout}"
+        );
+    }
+}
+
+#[test]
+fn bad_arguments_exit_with_usage() {
+    let out = ddm().arg("--nonsense").output().expect("run ddm");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn parse_errors_are_reported_not_panicked() {
+    let src = write_temp("bad", "class {{{{");
+    let out = ddm().arg(&src).output().expect("run ddm");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+}

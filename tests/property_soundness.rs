@@ -1,0 +1,141 @@
+//! Property-based tests over generated programs.
+//!
+//! The central property is the *soundness oracle*: for any program the
+//! generator emits, any data member the interpreter observes being read
+//! (or address-taken) during execution must be classified live by the
+//! static analysis. This ties together every crate in the workspace:
+//! parser → model → call graph → analysis vs. interpreter ground truth.
+
+use dead_data_members::benchmarks::generator::{generate, GeneratorConfig};
+use dead_data_members::prelude::*;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (1usize..8, 1usize..6, 1usize..4, 0usize..6, 1usize..8).prop_map(
+        |(classes, members, methods, stmts, objects)| GeneratorConfig {
+            classes,
+            members_per_class: members,
+            methods_per_class: methods,
+            stmts_per_method: stmts,
+            objects_in_main: objects,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_programs_are_accepted_end_to_end(config in arb_config(), seed in 0u64..10_000) {
+        let src = generate(&config, seed);
+        let run = AnalysisPipeline::from_source(&src)
+            .unwrap_or_else(|e| panic!("pipeline failed: {e}\n{src}"));
+        let exec = Interpreter::new(run.program())
+            .run(&RunConfig::default())
+            .unwrap_or_else(|e| panic!("execution failed: {e}\n{src}"));
+        prop_assert!(exec.steps > 0);
+    }
+
+    #[test]
+    fn analysis_is_sound_against_the_interpreter(config in arb_config(), seed in 0u64..10_000) {
+        let src = generate(&config, seed);
+        let run = AnalysisPipeline::from_source(&src).expect("pipeline");
+        let exec = Interpreter::new(run.program())
+            .run(&RunConfig::default())
+            .expect("run");
+        for m in &exec.members_observed {
+            prop_assert!(
+                run.liveness().is_live(*m),
+                "member {m} observed at run time but statically dead\n{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn pta_refinement_is_also_sound(config in arb_config(), seed in 0u64..10_000) {
+        // The §3.1 points-to refinement prunes dispatch targets; it must
+        // never prune one the interpreter actually reaches.
+        let src = generate(&config, seed);
+        let run = AnalysisPipeline::with_config(&src, Default::default(), Algorithm::Pta)
+            .expect("pipeline");
+        let exec = Interpreter::new(run.program())
+            .run(&RunConfig::default())
+            .expect("run");
+        for m in &exec.members_observed {
+            prop_assert!(
+                run.liveness().is_live(*m),
+                "PTA: member {m} observed at run time but statically dead\n{src}"
+            );
+        }
+    }
+
+    #[test]
+    fn pretty_printer_round_trips_generated_programs(config in arb_config(), seed in 0u64..10_000) {
+        let src = generate(&config, seed);
+        let tu1 = dead_data_members::cppfront::parse(&src).expect("parse");
+        let printed = dead_data_members::cppfront::print_unit(&tu1);
+        let tu2 = dead_data_members::cppfront::parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        // The printer must be a fixpoint, and structure must be preserved.
+        prop_assert_eq!(&printed, &dead_data_members::cppfront::print_unit(&tu2));
+        prop_assert_eq!(tu1.classes.len(), tu2.classes.len());
+        prop_assert_eq!(tu1.data_member_count(), tu2.data_member_count());
+    }
+
+    #[test]
+    fn layout_invariants(config in arb_config(), seed in 0u64..10_000) {
+        let src = generate(&config, seed);
+        let tu = dead_data_members::cppfront::parse(&src).expect("parse");
+        let program = Program::build(&tu).expect("sema");
+        let layouts = LayoutEngine::new(&program);
+        for (cid, info) in program.classes() {
+            let layout = layouts.layout(cid);
+            prop_assert!(layout.size >= 1, "{}", info.name);
+            prop_assert!(layout.align.is_power_of_two());
+            prop_assert_eq!(layout.size % layout.align, 0, "size must honor alignment");
+            // Field slots are disjoint and inside the object.
+            let mut slots: Vec<_> = layout.fields.clone();
+            slots.sort_by_key(|f| f.offset);
+            for w in slots.windows(2) {
+                prop_assert!(
+                    w[0].offset + w[0].size <= w[1].offset,
+                    "{}: overlapping fields",
+                    info.name
+                );
+            }
+            if let Some(last) = slots.last() {
+                prop_assert!(last.offset + last.size <= layout.size);
+            }
+            // The trimmed size can never exceed the full size.
+            let all = layout.bytes_where(|_| true);
+            prop_assert!(all <= layout.size);
+        }
+    }
+
+    #[test]
+    fn liveness_is_monotone_in_callgraph_precision(config in arb_config(), seed in 0u64..10_000) {
+        let src = generate(&config, seed);
+        let dead = |alg| {
+            let run = AnalysisPipeline::with_config(&src, Default::default(), alg).expect("pipeline");
+            run.report().dead_member_names().len()
+        };
+        let everything = dead(Algorithm::Everything);
+        let cha = dead(Algorithm::Cha);
+        let rta = dead(Algorithm::Rta);
+        prop_assert!(everything <= cha && cha <= rta, "{src}");
+    }
+
+    #[test]
+    fn profile_is_consistent_for_generated_programs(config in arb_config(), seed in 0u64..10_000) {
+        use dead_data_members::dynamic::profile_trace;
+        let src = generate(&config, seed);
+        let run = AnalysisPipeline::from_source(&src).expect("pipeline");
+        let exec = Interpreter::new(run.program())
+            .run(&RunConfig::default())
+            .expect("run");
+        let p = profile_trace(run.program(), &exec.trace, run.liveness());
+        prop_assert!(p.dead_member_space <= p.object_space);
+        prop_assert!(p.high_water_mark <= p.object_space);
+        prop_assert!(p.high_water_mark_without_dead <= p.high_water_mark);
+    }
+}

@@ -1,0 +1,97 @@
+//! Robustness: the front end must reject malformed input with an error —
+//! never a panic — and the whole stack must be deterministic.
+
+use dead_data_members::dynamic::{Interpreter, RunConfig};
+use dead_data_members::prelude::*;
+
+#[test]
+fn truncated_sources_never_panic_the_parser() {
+    let full = dead_data_members::benchmarks::by_name("richards")
+        .unwrap()
+        .source;
+    // Truncate at many byte positions (snapped to char boundaries); each
+    // prefix must either parse or produce a ParseError — no panics.
+    let mut parsed = 0;
+    let mut rejected = 0;
+    for cut in (0..full.len()).step_by(61) {
+        let mut end = cut;
+        while !full.is_char_boundary(end) {
+            end += 1;
+        }
+        match parse(&full[..end]) {
+            Ok(_) => parsed += 1,
+            Err(_) => rejected += 1,
+        }
+    }
+    assert!(rejected > 0, "most prefixes are malformed");
+    assert!(parsed >= 1, "the empty prefix parses");
+}
+
+#[test]
+fn mutated_sources_never_panic_the_pipeline() {
+    let full = dead_data_members::benchmarks::by_name("taldict")
+        .unwrap()
+        .source;
+    // Delete one line at a time: the result must parse+analyze or fail
+    // with a structured error.
+    let lines: Vec<&str> = full.lines().collect();
+    for skip in (0..lines.len()).step_by(7) {
+        let mutated: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let _ = AnalysisPipeline::from_source(&mutated); // must not panic
+    }
+}
+
+#[test]
+fn garbage_bytes_are_rejected_cleanly() {
+    for src in [
+        "",
+        ";;;;",
+        "class",
+        "class A",
+        "class A {",
+        "int main() { return",
+        "int main() { return 0; } }",
+        "\u{0}\u{1}\u{2}",
+        "class A : : { };",
+        "int main() { 1 ++++ 2; }",
+        "union U : public V { };",
+    ] {
+        let _ = parse(src); // Ok or Err, never a panic
+    }
+}
+
+#[test]
+fn execution_is_deterministic_across_runs() {
+    for b in dead_data_members::benchmarks::suite() {
+        let run = b.analyze().unwrap();
+        let e1 = Interpreter::new(run.program())
+            .run(&RunConfig::default())
+            .unwrap();
+        let e2 = Interpreter::new(run.program())
+            .run(&RunConfig::default())
+            .unwrap();
+        assert_eq!(e1.output, e2.output, "{}", b.name);
+        assert_eq!(e1.exit_code, e2.exit_code, "{}", b.name);
+        assert_eq!(e1.steps, e2.steps, "{}", b.name);
+        assert_eq!(
+            e1.trace.events().len(),
+            e2.trace.events().len(),
+            "{}",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn analysis_is_deterministic_across_runs() {
+    for b in dead_data_members::benchmarks::suite() {
+        let r1 = b.analyze().unwrap().report().dead_member_names();
+        let r2 = b.analyze().unwrap().report().dead_member_names();
+        assert_eq!(r1, r2, "{}", b.name);
+    }
+}

@@ -1,0 +1,204 @@
+//! Whole-suite invariants: the qualitative findings of the paper's §4.4
+//! evaluation must hold on this reproduction's benchmark suite.
+
+use dead_data_members::benchmarks::{self, LIBRARY_USERS, TRIVIAL};
+use dead_data_members::dynamic::{profile_trace, HeapProfile, Interpreter, RunConfig};
+
+struct Row {
+    name: &'static str,
+    dead_pct: f64,
+    profile: HeapProfile,
+    exit_code: i64,
+    output: String,
+}
+
+fn measure_all() -> &'static Vec<Row> {
+    static CACHE: std::sync::OnceLock<Vec<Row>> = std::sync::OnceLock::new();
+    CACHE.get_or_init(compute_all)
+}
+
+fn compute_all() -> Vec<Row> {
+    benchmarks::suite()
+        .iter()
+        .map(|b| {
+            let run = b.analyze().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let exec = Interpreter::new(run.program())
+                .run(&RunConfig::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let profile = profile_trace(run.program(), &exec.trace, run.liveness());
+            Row {
+                name: b.name,
+                dead_pct: run.report().dead_percentage(),
+                profile,
+                exit_code: exec.exit_code,
+                output: exec.output,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn all_benchmarks_run_to_successful_completion() {
+    for row in measure_all() {
+        assert_eq!(row.exit_code, 0, "{} exited nonzero", row.name);
+        assert!(!row.output.is_empty(), "{} produced no output", row.name);
+    }
+}
+
+#[test]
+fn richards_validates_its_own_counters() {
+    let b = benchmarks::by_name("richards").unwrap();
+    let run = b.analyze().unwrap();
+    let exec = Interpreter::new(run.program())
+        .run(&RunConfig::default())
+        .unwrap();
+    assert!(exec.output.contains("queueCount=2322"), "{}", exec.output);
+    assert!(exec.output.contains("holdCount=928"));
+    assert!(exec.output.contains("richards: OK"));
+}
+
+#[test]
+fn deltablue_solver_is_correct() {
+    let b = benchmarks::by_name("deltablue").unwrap();
+    let run = b.analyze().unwrap();
+    let exec = Interpreter::new(run.program())
+        .run(&RunConfig::default())
+        .unwrap();
+    assert!(exec.output.contains("deltablue: OK"), "{}", exec.output);
+}
+
+#[test]
+fn smallest_benchmarks_have_no_dead_members() {
+    // §4.4: "The smallest two of the benchmarks, richards and deltablue,
+    // do not contain any dead data members."
+    for row in measure_all() {
+        if TRIVIAL.contains(&row.name) {
+            assert_eq!(row.dead_pct, 0.0, "{}", row.name);
+            assert_eq!(row.profile.dead_member_space, 0, "{}", row.name);
+        }
+    }
+}
+
+#[test]
+fn library_users_have_the_highest_dead_percentage() {
+    // §4.4: "The benchmarks that use a class library not specifically
+    // built for the application ... have the highest percentage of dead
+    // data members."
+    let rows = measure_all();
+    let mut sorted: Vec<&Row> = rows.iter().collect();
+    sorted.sort_by(|a, b| b.dead_pct.partial_cmp(&a.dead_pct).unwrap());
+    let top3: Vec<&str> = sorted[..3].iter().map(|r| r.name).collect();
+    for lib in LIBRARY_USERS {
+        assert!(
+            top3.contains(&lib),
+            "{lib} should be in the top three ({top3:?})"
+        );
+    }
+}
+
+#[test]
+fn dynamic_numbers_are_internally_consistent() {
+    for row in measure_all() {
+        let p = &row.profile;
+        assert!(
+            p.dead_member_space <= p.object_space,
+            "{}: dead > total",
+            row.name
+        );
+        assert!(
+            p.high_water_mark <= p.object_space,
+            "{}: HWM > total",
+            row.name
+        );
+        assert!(
+            p.high_water_mark_without_dead <= p.high_water_mark,
+            "{}: trimmed HWM above raw HWM",
+            row.name
+        );
+        assert!(p.objects_allocated > 0, "{}", row.name);
+    }
+}
+
+#[test]
+fn allocate_and_hold_benchmarks_have_hwm_equal_to_total() {
+    // §4.3: "for a number of benchmarks, the high water mark numbers are
+    // (nearly) identical to the numbers for total object space" — in the
+    // paper that is sched and hotwire; the suite reproduces it.
+    for name in ["sched", "hotwire"] {
+        let row = measure_all().iter().find(|r| r.name == name).unwrap();
+        assert_eq!(
+            row.profile.high_water_mark, row.profile.object_space,
+            "{name} must allocate-and-hold"
+        );
+    }
+}
+
+#[test]
+fn static_and_dynamic_percentages_are_not_strongly_correlated() {
+    // §4.3: "there is no strong correlation between a high percentage of
+    // dead data members in Figure 3, and a high percentage of object
+    // space occupied by those data members in Figure 4."
+    let rows = measure_all();
+    let nontrivial: Vec<&Row> = rows.iter().filter(|r| !TRIVIAL.contains(&r.name)).collect();
+    // The benchmark with the *smallest* static percentage must have the
+    // *largest* dynamic percentage (the paper's sched), which alone rules
+    // out a strong positive correlation.
+    let min_static = nontrivial
+        .iter()
+        .min_by(|a, b| a.dead_pct.partial_cmp(&b.dead_pct).unwrap())
+        .unwrap();
+    let max_dynamic = nontrivial
+        .iter()
+        .max_by(|a, b| {
+            a.profile
+                .dead_space_percentage()
+                .partial_cmp(&b.profile.dead_space_percentage())
+                .unwrap()
+        })
+        .unwrap();
+    assert_eq!(min_static.name, "sched");
+    assert_eq!(max_dynamic.name, "sched");
+}
+
+#[test]
+fn averages_land_in_the_papers_bands() {
+    // §4.4: nine non-trivial benchmarks average 12.5% dead members and
+    // 4.4% dead object space. The reproduction's scaled workloads should
+    // land in the same bands (within a factor of ~1.5).
+    let rows = measure_all();
+    let nontrivial: Vec<&Row> = rows.iter().filter(|r| !TRIVIAL.contains(&r.name)).collect();
+    let avg_static: f64 =
+        nontrivial.iter().map(|r| r.dead_pct).sum::<f64>() / nontrivial.len() as f64;
+    let avg_dynamic: f64 = nontrivial
+        .iter()
+        .map(|r| r.profile.dead_space_percentage())
+        .sum::<f64>()
+        / nontrivial.len() as f64;
+    assert!(
+        (8.0..=19.0).contains(&avg_static),
+        "average static dead % {avg_static:.1} far from the paper's 12.5%"
+    );
+    assert!(
+        (2.9..=6.6).contains(&avg_dynamic),
+        "average dynamic dead % {avg_dynamic:.1} far from the paper's 4.4%"
+    );
+}
+
+#[test]
+fn soundness_oracle_over_the_whole_suite() {
+    // Every member the interpreter observes being read or address-taken
+    // must be statically live — across all eleven benchmarks.
+    for b in benchmarks::suite() {
+        let run = b.analyze().unwrap();
+        let exec = Interpreter::new(run.program())
+            .run(&RunConfig::default())
+            .unwrap();
+        for m in &exec.members_observed {
+            assert!(
+                run.liveness().is_live(*m),
+                "{}: member {m} observed at run time but statically dead",
+                b.name
+            );
+        }
+    }
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Offline tier-1 gate: build, full test suite, and the parallel
+# determinism harness at 8 workers. No network access required — the
+# workspace has no external dependencies.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test suite =="
+cargo test -q
+
+echo "== parallel determinism (--jobs 8) =="
+cargo test --release --test parallel_determinism -- --nocapture
+cargo test --release --test parallel_special_cases
+cargo run --release --bin ddm -- crates/benchmarks/programs/richards.cpp --jobs 8 > /dev/null
+
+echo "ci.sh: all gates passed"

@@ -10,45 +10,41 @@
 //!   should grow roughly linearly in program size;
 //! * `analysis/CxM` — statements fixed, class count swept (members per
 //!   class constant, so `C×M` grows linearly in the class count);
+//! * `analysis/jobs` — the sharded engine swept over worker counts on a
+//!   large generated program (sequential `run` is the 1-worker row);
 //! * `lookup/depth` — member lookup along an inheritance chain, the
 //!   precomputation the paper delegates to Ramalingam & Srinivasan.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddm_bench::timing;
 use ddm_benchmarks::generator::{generate, GeneratorConfig};
 use ddm_callgraph::{CallGraph, CallGraphOptions};
 use ddm_core::{AnalysisConfig, DeadMemberAnalysis};
 use ddm_hierarchy::{MemberLookup, Program};
-use std::hint::black_box;
 
-fn prepared(config: &GeneratorConfig, seed: u64) -> (Program, String) {
+fn prepared(config: &GeneratorConfig, seed: u64) -> Program {
     let src = generate(config, seed);
     let tu = ddm_cppfront::parse(&src).expect("generated programs parse");
-    (Program::build(&tu).expect("generated programs check"), src)
+    Program::build(&tu).expect("generated programs check")
 }
 
-fn bench_sweep_n(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis/N");
+fn bench_sweep_n() {
     for stmts in [2usize, 8, 32, 128] {
         let config = GeneratorConfig {
             classes: 8,
             stmts_per_method: stmts,
             ..Default::default()
         };
-        let (program, _) = prepared(&config, 11);
+        let program = prepared(&config, 11);
         let lookup = MemberLookup::new(&program);
         let graph = CallGraph::build(&program, &lookup, &CallGraphOptions::default()).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(stmts), &stmts, |b, _| {
-            b.iter(|| {
-                let analysis = DeadMemberAnalysis::new(&program, AnalysisConfig::default());
-                black_box(analysis.run(&graph).unwrap())
-            })
+        timing::report("analysis/N", &stmts.to_string(), 20, || {
+            let analysis = DeadMemberAnalysis::new(&program, AnalysisConfig::default());
+            analysis.run(&graph).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_sweep_cxm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis/CxM");
+fn bench_sweep_cxm() {
     for classes in [4usize, 16, 64] {
         // Scale the exercised objects with the class count so the
         // reachable-code portion actually covers the C×M growth (a main
@@ -59,21 +55,42 @@ fn bench_sweep_cxm(c: &mut Criterion) {
             objects_in_main: classes * 2,
             ..Default::default()
         };
-        let (program, _) = prepared(&config, 13);
+        let program = prepared(&config, 13);
         let lookup = MemberLookup::new(&program);
         let graph = CallGraph::build(&program, &lookup, &CallGraphOptions::default()).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(classes), &classes, |b, _| {
-            b.iter(|| {
-                let analysis = DeadMemberAnalysis::new(&program, AnalysisConfig::default());
-                black_box(analysis.run(&graph).unwrap())
-            })
+        timing::report("analysis/CxM", &classes.to_string(), 20, || {
+            let analysis = DeadMemberAnalysis::new(&program, AnalysisConfig::default());
+            analysis.run(&graph).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_lookup_depth(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lookup/depth");
+fn bench_jobs_sweep() {
+    // A program large enough that sharding the reachable-function scan
+    // pays for the thread spawns.
+    let config = GeneratorConfig {
+        classes: 96,
+        members_per_class: 5,
+        methods_per_class: 4,
+        stmts_per_method: 24,
+        objects_in_main: 192,
+    };
+    let program = prepared(&config, 17);
+    let lookup = MemberLookup::new(&program);
+    let graph = CallGraph::build(&program, &lookup, &CallGraphOptions::default()).unwrap();
+    timing::report("analysis/jobs", "seq", 10, || {
+        let analysis = DeadMemberAnalysis::new(&program, AnalysisConfig::default());
+        analysis.run(&graph).unwrap()
+    });
+    for jobs in [1usize, 2, 4, 8] {
+        timing::report("analysis/jobs", &jobs.to_string(), 10, || {
+            let analysis = DeadMemberAnalysis::new(&program, AnalysisConfig::default());
+            analysis.run_jobs(&graph, jobs).unwrap()
+        });
+    }
+}
+
+fn bench_lookup_depth() {
     for depth in [2usize, 8, 32] {
         // A straight inheritance chain; the member lives at the top.
         let mut src = String::from("class C0 { public: int target; };\n");
@@ -90,21 +107,18 @@ fn bench_lookup_depth(c: &mut Criterion) {
         let tu = ddm_cppfront::parse(&src).unwrap();
         let program = Program::build(&tu).unwrap();
         let leaf = program.class_by_name(&format!("C{}", depth - 1)).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
-            b.iter(|| {
-                // Fresh service each iteration so the subobject-tree cache
-                // does not amortize the work away.
-                let lookup = MemberLookup::new(&program);
-                black_box(lookup.data_member(leaf, "target").unwrap())
-            })
+        timing::report("lookup/depth", &depth.to_string(), 20, || {
+            // Fresh service each iteration so the subobject-tree cache
+            // does not amortize the work away.
+            let lookup = MemberLookup::new(&program);
+            lookup.data_member(leaf, "target").unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_sweep_n, bench_sweep_cxm, bench_lookup_depth
-);
-criterion_main!(benches);
+fn main() {
+    bench_sweep_n();
+    bench_sweep_cxm();
+    bench_jobs_sweep();
+    bench_lookup_depth();
+}

@@ -2,81 +2,62 @@
 //! time per benchmark, and the cost of the three call-graph builders
 //! (the §3.1 ablation's time dimension).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddm_bench::timing;
 use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
 use ddm_core::{AnalysisConfig, DeadMemberAnalysis, SizeofPolicy};
 use ddm_hierarchy::{MemberLookup, Program};
-use std::hint::black_box;
 
-fn bench_suite_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("suite/analysis");
+fn bench_suite_analysis() {
     for b in ddm_benchmarks::suite() {
         let tu = ddm_cppfront::parse(b.source).unwrap();
         let program = Program::build(&tu).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(b.name), &b, |bench, _| {
-            bench.iter(|| {
-                let lookup = MemberLookup::new(&program);
-                let graph =
-                    CallGraph::build(&program, &lookup, &CallGraphOptions::default()).unwrap();
-                let analysis = DeadMemberAnalysis::new(
-                    &program,
-                    AnalysisConfig {
-                        assume_safe_downcasts: true,
-                        sizeof_policy: SizeofPolicy::Ignore,
-                        ..Default::default()
-                    },
-                );
-                black_box(analysis.run(&graph).unwrap())
-            })
+        timing::report("suite/analysis", b.name, 15, || {
+            let lookup = MemberLookup::new(&program);
+            let graph = CallGraph::build(&program, &lookup, &CallGraphOptions::default()).unwrap();
+            let analysis = DeadMemberAnalysis::new(
+                &program,
+                AnalysisConfig {
+                    assume_safe_downcasts: true,
+                    sizeof_policy: SizeofPolicy::Ignore,
+                    ..Default::default()
+                },
+            );
+            analysis.run(&graph).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_callgraph_builders(c: &mut Criterion) {
-    let mut group = c.benchmark_group("suite/callgraph");
+fn bench_callgraph_builders() {
     let b = ddm_benchmarks::by_name("deltablue").unwrap();
     let tu = ddm_cppfront::parse(b.source).unwrap();
     let program = Program::build(&tu).unwrap();
     for algorithm in [Algorithm::Everything, Algorithm::Cha, Algorithm::Rta] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(algorithm),
-            &algorithm,
-            |bench, &alg| {
-                bench.iter(|| {
-                    let lookup = MemberLookup::new(&program);
-                    black_box(
-                        CallGraph::build(
-                            &program,
-                            &lookup,
-                            &CallGraphOptions {
-                                algorithm: alg,
-                                ..Default::default()
-                            },
-                        )
-                        .unwrap(),
-                    )
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_parse(c: &mut Criterion) {
-    let mut group = c.benchmark_group("suite/parse");
-    for name in ["richards", "deltablue", "sched"] {
-        let b = ddm_benchmarks::by_name(name).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &b, |bench, b| {
-            bench.iter(|| black_box(ddm_cppfront::parse(b.source).unwrap()))
+        timing::report("suite/callgraph", &algorithm.to_string(), 15, || {
+            let lookup = MemberLookup::new(&program);
+            CallGraph::build(
+                &program,
+                &lookup,
+                &CallGraphOptions {
+                    algorithm,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_suite_analysis, bench_callgraph_builders, bench_parse
-);
-criterion_main!(benches);
+fn bench_parse() {
+    for name in ["richards", "deltablue", "sched"] {
+        let b = ddm_benchmarks::by_name(name).unwrap();
+        timing::report("suite/parse", name, 15, || {
+            ddm_cppfront::parse(b.source).unwrap()
+        });
+    }
+}
+
+fn main() {
+    bench_suite_analysis();
+    bench_callgraph_builders();
+    bench_parse();
+}

@@ -5,10 +5,25 @@
 //! facade crate.
 
 fn main() {
-    let path = std::env::args().nth(1).expect("usage: ddm_run <file.cpp>");
+    let mut path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            args.next(); // value re-parsed by jobs_from_args
+        } else if !a.starts_with('-') && path.is_none() {
+            path = Some(a);
+        }
+    }
+    let path = path.expect("usage: ddm_run <file.cpp> [--jobs N]");
+    let jobs = ddm_bench::jobs_from_args();
     let src = std::fs::read_to_string(&path).expect("readable input file");
     let t0 = std::time::Instant::now();
-    let run = match ddm_core::AnalysisPipeline::from_source(&src) {
+    let run = match ddm_core::AnalysisPipeline::with_config_jobs(
+        &src,
+        Default::default(),
+        ddm_callgraph::Algorithm::Rta,
+        jobs,
+    ) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("PIPELINE ERROR: {e}");

@@ -4,10 +4,10 @@
 //! benchmarks, up to 27.3% for library users, average 12.5% over the
 //! nine non-trivial programs.
 
-use ddm_bench::{bar, measure_suite, paper_cell};
+use ddm_bench::{bar, jobs_from_args, measure_suite_jobs, paper_cell};
 
 fn main() {
-    let rows = measure_suite().expect("benchmark suite must measure cleanly");
+    let rows = measure_suite_jobs(jobs_from_args()).expect("benchmark suite must measure cleanly");
     println!("Figure 3: Percentage of dead data members detected in the benchmark programs\n");
     println!(
         "{:<10} {:>7} {:>9} {:>9}  bar (measured)",

@@ -5,10 +5,10 @@
 //! 11.6% of object space (average 4.4%; average HWM reduction 4.9%),
 //! and no strong correlation with the static percentages of Figure 3.
 
-use ddm_bench::{bar, measure_suite};
+use ddm_bench::{bar, jobs_from_args, measure_suite_jobs};
 
 fn main() {
-    let rows = measure_suite().expect("benchmark suite must measure cleanly");
+    let rows = measure_suite_jobs(jobs_from_args()).expect("benchmark suite must measure cleanly");
     println!("Figure 4: Percentage of object space occupied by dead data members\n");
     println!(
         "{:<10} {:>10} {:>10}   bars: space `#` / HWM-reduction `=`",

@@ -2,10 +2,10 @@
 //! lines of code, number of classes (used classes in brackets), and the
 //! number of data members in used classes.
 
-use ddm_bench::{measure_suite, paper_cell};
+use ddm_bench::{jobs_from_args, measure_suite_jobs, paper_cell};
 
 fn main() {
-    let rows = measure_suite().expect("benchmark suite must measure cleanly");
+    let rows = measure_suite_jobs(jobs_from_args()).expect("benchmark suite must measure cleanly");
     println!(
         "Table 1: Benchmark programs used to evaluate the dead data member detection algorithm"
     );

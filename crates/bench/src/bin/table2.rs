@@ -4,10 +4,10 @@
 //! and the high-water mark with dead members eliminated. All byte
 //! counts use the documented 32-bit 1998-era object model.
 
-use ddm_bench::{measure_suite, paper_cell};
+use ddm_bench::{jobs_from_args, measure_suite_jobs, paper_cell};
 
 fn main() {
-    let rows = measure_suite().expect("benchmark suite must measure cleanly");
+    let rows = measure_suite_jobs(jobs_from_args()).expect("benchmark suite must measure cleanly");
     println!("Table 2: Execution characteristics of the benchmark programs (bytes)");
     println!("(measured on this reproduction's scaled workloads; paper values in parentheses)\n");
     println!(

@@ -99,7 +99,65 @@ pub fn measure(b: &Benchmark) -> Result<Measured, MeasureError> {
 ///
 /// Fails on the first benchmark that cannot be measured.
 pub fn measure_suite() -> Result<Vec<Measured>, MeasureError> {
-    ddm_benchmarks::suite().iter().map(measure).collect()
+    measure_suite_jobs(1)
+}
+
+/// Measures the whole suite with up to `jobs` benchmarks in flight at
+/// once. The returned rows are in paper order regardless of completion
+/// order, and each row is identical to what [`measure_suite`] produces —
+/// batch parallelism never changes a measurement, only wall-clock time.
+///
+/// # Errors
+///
+/// Fails on the earliest (paper-order) benchmark that cannot be
+/// measured.
+pub fn measure_suite_jobs(jobs: usize) -> Result<Vec<Measured>, MeasureError> {
+    let suite = ddm_benchmarks::suite();
+    if jobs <= 1 {
+        return suite.iter().map(measure).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let jobs = jobs.min(suite.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<Measured, MeasureError>>>> =
+        suite.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(b) = suite.get(i) else { break };
+                *slots[i].lock().expect("bench slot poisoned") = Some(measure(b));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("bench slot poisoned")
+                .expect("every benchmark is measured exactly once")
+        })
+        .collect()
+}
+
+/// Parses a `--jobs N` pair out of the process arguments (shared by the
+/// driver binaries); defaults to 1.
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            return args
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("error: --jobs needs a positive integer");
+                    std::process::exit(2);
+                });
+        }
+    }
+    1
 }
 
 /// Formats an optional paper value for a comparison column.
@@ -114,6 +172,59 @@ pub fn paper_cell<T: std::fmt::Display>(v: Option<T>) -> String {
 pub fn bar(pct: f64, scale: f64) -> String {
     let n = ((pct * scale).round() as usize).min(60);
     "#".repeat(n)
+}
+
+/// Minimal wall-clock benchmark harness.
+///
+/// The registry is unreachable from the build environment, so the
+/// `benches/` targets time with `std::time::Instant` instead of an
+/// external framework: warm up, take `samples` single-shot samples, and
+/// report the minimum and median (the minimum is the least noisy
+/// estimator for deterministic CPU-bound work).
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// One measured benchmark case.
+    #[derive(Debug, Clone)]
+    pub struct Sample {
+        /// `group/id` label.
+        pub label: String,
+        /// Fastest observed run.
+        pub min: Duration,
+        /// Median observed run.
+        pub median: Duration,
+    }
+
+    /// Times `f` with two warm-up runs and `samples` measured runs.
+    pub fn time<T>(samples: usize, mut f: impl FnMut() -> T) -> (Duration, Duration) {
+        for _ in 0..2 {
+            std::hint::black_box(f());
+        }
+        let mut runs: Vec<Duration> = (0..samples.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        runs.sort();
+        (runs[0], runs[runs.len() / 2])
+    }
+
+    /// Times `f` and prints one aligned result line.
+    pub fn report<T>(group: &str, id: &str, samples: usize, f: impl FnMut() -> T) -> Sample {
+        let (min, median) = time(samples, f);
+        let label = format!("{group}/{id}");
+        println!(
+            "{label:<28} min {:>12.1?}   median {:>12.1?}   ({samples} samples)",
+            min, median
+        );
+        Sample {
+            label,
+            min,
+            median,
+        }
+    }
 }
 
 #[cfg(test)]

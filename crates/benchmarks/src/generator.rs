@@ -15,8 +15,7 @@
 //! methods, inheritance chains with virtual dispatch, heap and stack
 //! allocation, and `delete`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use std::fmt::Write as _;
 
 /// Size and shape parameters for one generated program.
@@ -58,7 +57,7 @@ impl Default for GeneratorConfig {
 /// assert!(program.class_count() >= 6);
 /// ```
 pub fn generate(config: &GeneratorConfig, seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out = String::new();
     let _ = writeln!(out, "// generated: seed={seed} config={config:?}");
 

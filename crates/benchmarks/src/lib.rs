@@ -19,6 +19,7 @@
 //! scaling benchmarks.
 
 pub mod generator;
+pub mod rng;
 
 use ddm_core::{AnalysisConfig, AnalysisPipeline, PipelineError};
 use ddm_cppfront::SourceMap;

@@ -1,0 +1,99 @@
+//! Minimal deterministic pseudo-random number generator.
+//!
+//! The generator and scaling benchmarks only need reproducible streams,
+//! not cryptographic quality, so a self-contained SplitMix64 keeps the
+//! workspace free of external crates (the build environment has no
+//! network access to a registry). Equal seeds produce equal streams on
+//! every platform.
+
+/// A seeded SplitMix64 stream (Steele, Lea & Flood, OOPSLA'14).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `range` (which must be non-empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty.
+    pub fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range over empty range");
+        let span = (range.end - range.start) as u64;
+        // Multiply-shift bounded sampling; the tiny modulo bias of a
+        // plain `%` is irrelevant here, but this form is branch-free and
+        // just as cheap.
+        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start + hi as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let threshold = (p.clamp(0.0, 1.0) * (u64::MAX as f64)) as u64;
+        self.next_u64() <= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = Rng::seed_from_u64(99);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+        }
+        // Tight range is always its single value.
+        assert_eq!(r.gen_range(5..6), 5);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Rng::seed_from_u64(4);
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut r = Rng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "{heads}");
+    }
+}

@@ -232,6 +232,24 @@ impl CallGraph {
         self.reachable.len()
     }
 
+    /// Splits the reachable functions into at most `n` contiguous shards
+    /// for parallel scanning.
+    ///
+    /// The shards partition [`CallGraph::reachable`] and **preserve its
+    /// order**: concatenating the shards yields the reachable list in
+    /// `FuncId` order. This contiguity is what lets the analysis merge
+    /// per-shard deltas in shard order and reproduce the sequential
+    /// first-mark-wins results bit for bit — a round-robin split would
+    /// interleave the order and scramble recorded reasons.
+    pub fn reachable_shards(&self, n: usize) -> Vec<Vec<FuncId>> {
+        let all: Vec<FuncId> = self.reachable.iter().copied().collect();
+        if all.is_empty() {
+            return Vec::new();
+        }
+        let per_shard = all.len().div_ceil(n.max(1));
+        all.chunks(per_shard).map(<[FuncId]>::to_vec).collect()
+    }
+
     /// Classes considered instantiated (for `Everything` and `Cha`, all of
     /// them; for `Rta`, the fixpoint set).
     pub fn instantiated(&self) -> impl ExactSizeIterator<Item = ClassId> + '_ {
@@ -681,6 +699,32 @@ mod tests {
         let all_set: BTreeSet<_> = all.reachable().collect();
         assert!(rta_set.is_subset(&cha_set));
         assert!(cha_set.is_subset(&all_set));
+    }
+
+    #[test]
+    fn reachable_shards_partition_and_preserve_order() {
+        let (_, g) = graph(
+            "int a() { return 1; } int b() { return a(); } int c() { return b(); }\n\
+             int d() { return c(); } int e() { return d(); }\n\
+             int main() { return e(); }",
+            Algorithm::Rta,
+        );
+        let sequential: Vec<FuncId> = g.reachable().collect();
+        for n in [1usize, 2, 3, 4, 100] {
+            let shards = g.reachable_shards(n);
+            assert!(shards.len() <= n.max(1));
+            assert!(shards.iter().all(|s| !s.is_empty()));
+            let flat: Vec<FuncId> = shards.into_iter().flatten().collect();
+            assert_eq!(flat, sequential, "n={n} must preserve order");
+        }
+    }
+
+    #[test]
+    fn reachable_shards_of_empty_graph() {
+        // No main function: nothing reachable under RTA.
+        let (_, g) = graph("int lonely() { return 1; }", Algorithm::Rta);
+        assert_eq!(g.reachable_count(), 0);
+        assert!(g.reachable_shards(4).is_empty());
     }
 
     #[test]

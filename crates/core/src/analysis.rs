@@ -99,7 +99,116 @@ impl<'p> DeadMemberAnalysis<'p> {
     ///
     /// Propagates [`TypeError`]s from walking reachable function bodies.
     pub fn run(&self, callgraph: &CallGraph) -> Result<Liveness, TypeError> {
+        let mut marker = self.base_marker()?;
+
+        // Every statement of every function reachable in the call graph.
         let lookup = MemberLookup::new(self.program);
+        for func in callgraph.reachable() {
+            let mut sink = Sink {
+                marker: &mut marker,
+            };
+            walk_function(self.program, &lookup, func, &mut sink)?;
+        }
+
+        marker.propagate_unions();
+        Ok(marker.liveness)
+    }
+
+    /// Runs the algorithm with the reachable-function scan sharded across
+    /// `jobs` worker threads.
+    ///
+    /// The result — live set, unclassifiable set, *and* recorded
+    /// [`LiveReason`]s — is bit-identical to [`DeadMemberAnalysis::run`]
+    /// for any worker count:
+    ///
+    /// * per-function marking is a pure function of the body (the
+    ///   paper's rules never consult the current liveness state), so
+    ///   every worker produces the same delta regardless of what the
+    ///   others have found;
+    /// * [`CallGraph::reachable_shards`] hands each worker a contiguous,
+    ///   order-preserving slice, and deltas are [`Liveness::merge`]d in
+    ///   shard order, which reproduces the sequential scan's
+    ///   first-mark-wins reason for every member;
+    /// * scan rounds repeat until no worker contributes a new mark (one
+    ///   productive round plus one confirming round today; the loop is
+    ///   the fixed-point guarantee should a marking rule ever become
+    ///   liveness-dependent), and the union-propagation fixpoint then
+    ///   runs on the merged state exactly as in the sequential path.
+    ///
+    /// `jobs <= 1` falls back to the sequential implementation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TypeError`]s from walking reachable function bodies;
+    /// when several shards fail, the error from the earliest function in
+    /// scan order is returned, matching the sequential path.
+    pub fn run_jobs(&self, callgraph: &CallGraph, jobs: usize) -> Result<Liveness, TypeError> {
+        if jobs <= 1 {
+            return self.run(callgraph);
+        }
+        let mut marker = self.base_marker()?;
+        let shards = callgraph.reachable_shards(jobs);
+        let program = self.program;
+        let config = &self.config;
+
+        loop {
+            // One sharded scan round: each worker walks its slice of the
+            // reachable functions into a private delta (own liveness, own
+            // MarkAllContainedMembers visited set, own member lookup —
+            // the lookup's subobject cache is not Sync).
+            let deltas: Vec<Result<(Liveness, HashSet<ClassId>), TypeError>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = shards
+                        .iter()
+                        .map(|shard| {
+                            scope.spawn(move || {
+                                let lookup = MemberLookup::new(program);
+                                let mut worker = Marker {
+                                    program,
+                                    liveness: Liveness::new(),
+                                    visited: HashSet::new(),
+                                    config,
+                                };
+                                for &func in shard {
+                                    let mut sink = Sink {
+                                        marker: &mut worker,
+                                    };
+                                    walk_function(program, &lookup, func, &mut sink)?;
+                                }
+                                Ok((worker.liveness, worker.visited))
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("analysis worker panicked"))
+                        .collect()
+                });
+
+            // Deterministic reduction: fold the deltas in shard order, so
+            // an earlier shard's mark always wins — exactly the sequential
+            // scan order. The visited sets union into the shared marker
+            // for the union-propagation stage (the union of per-worker
+            // closures equals the sequential closure).
+            let mut round_changed = false;
+            for delta in deltas {
+                let (liveness, visited) = delta?;
+                round_changed |= marker.liveness.merge(&liveness);
+                marker.visited.extend(visited);
+            }
+            if !round_changed {
+                break;
+            }
+        }
+
+        marker.propagate_unions();
+        Ok(marker.liveness)
+    }
+
+    /// The shared pre-scan state: everything dead, library members
+    /// unclassifiable, global initializers walked (they run
+    /// unconditionally before `main`).
+    fn base_marker(&self) -> Result<Marker<'p, '_>, TypeError> {
         let library: HashSet<ClassId> = self
             .config
             .library_classes
@@ -125,43 +234,12 @@ impl<'p> DeadMemberAnalysis<'p> {
             }
         }
 
-        // Global initializers run unconditionally before main.
-        {
-            let mut sink = Sink {
-                marker: &mut marker,
-            };
-            walk_globals(self.program, &lookup, &mut sink)?;
-        }
-
-        // Every statement of every function reachable in the call graph.
-        for func in callgraph.reachable() {
-            let mut sink = Sink {
-                marker: &mut marker,
-            };
-            walk_function(self.program, &lookup, func, &mut sink)?;
-        }
-
-        // Union propagation (Figure 2, lines 9–11), to a fixpoint since
-        // marking a union's contents may liven members of another union.
-        loop {
-            let mut changed = false;
-            for (cid, class) in self.program.classes() {
-                if class.kind != ClassKind::Union {
-                    continue;
-                }
-                let any_live = marker.any_contained_live(cid, &mut HashSet::new());
-                let all_marked = marker.visited.contains(&cid);
-                if any_live && !all_marked {
-                    marker.mark_all_contained(cid, LiveReason::UnionPropagation);
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-
-        Ok(marker.liveness)
+        let lookup = MemberLookup::new(self.program);
+        let mut sink = Sink {
+            marker: &mut marker,
+        };
+        walk_globals(self.program, &lookup, &mut sink)?;
+        Ok(marker)
     }
 }
 
@@ -219,6 +297,28 @@ impl Marker<'_, '_> {
         info.bases
             .iter()
             .any(|b| self.any_contained_live(b.id, &mut seen.clone()))
+    }
+
+    /// Union propagation (Figure 2, lines 9–11), to a fixpoint since
+    /// marking a union's contents may liven members of another union.
+    fn propagate_unions(&mut self) {
+        loop {
+            let mut changed = false;
+            for (cid, class) in self.program.classes() {
+                if class.kind != ClassKind::Union {
+                    continue;
+                }
+                let any_live = self.any_contained_live(cid, &mut HashSet::new());
+                let all_marked = self.visited.contains(&cid);
+                if any_live && !all_marked {
+                    self.mark_all_contained(cid, LiveReason::UnionPropagation);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
     }
 
     /// Classifies a cast as unsafe per §3: down-casts (unless the user

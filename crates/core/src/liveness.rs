@@ -57,7 +57,7 @@ impl fmt::Display for LiveReason {
 /// liveness.mark_live(m, LiveReason::Read);
 /// assert_eq!(liveness.reason(m), Some(LiveReason::Read));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Liveness {
     live: BTreeMap<MemberRef, LiveReason>,
     unclassifiable: std::collections::BTreeSet<MemberRef>,
@@ -85,6 +85,29 @@ impl Liveness {
     /// Marks `member` as unclassifiable (library class member).
     pub fn mark_unclassifiable(&mut self, member: MemberRef) {
         self.unclassifiable.insert(member);
+    }
+
+    /// Merges another classification into this one; the reduction step of
+    /// the sharded analysis. Returns true if anything changed.
+    ///
+    /// Liveness marking is a monotone union: the merged live and
+    /// unclassifiable sets are the set unions of both sides, so `merge`
+    /// is **commutative and idempotent on the classification** (which
+    /// members are live / dead / unclassifiable) and **monotone** (it
+    /// never un-livens a member). Recorded [`LiveReason`]s keep the
+    /// paper's first-reason-wins rule: when both sides marked the same
+    /// member, the *receiver's* reason is kept, so merging worker deltas
+    /// in shard order reproduces exactly the reasons the sequential scan
+    /// records.
+    pub fn merge(&mut self, other: &Liveness) -> bool {
+        let mut changed = false;
+        for (&m, &r) in &other.live {
+            changed |= self.mark_live(m, r);
+        }
+        for &m in &other.unclassifiable {
+            changed |= self.unclassifiable.insert(m);
+        }
+        changed
     }
 
     /// Whether `member` was marked live.
@@ -166,6 +189,78 @@ mod tests {
         assert!(!l.is_live(mref(2, 0)));
         assert!(!l.is_dead(mref(2, 0)));
         assert!(l.is_unclassifiable(mref(2, 0)));
+    }
+
+    #[test]
+    fn merge_is_commutative_on_the_classification() {
+        let mut a = Liveness::new();
+        a.mark_live(mref(0, 0), LiveReason::Read);
+        a.mark_live(mref(0, 1), LiveReason::Sizeof);
+        a.mark_unclassifiable(mref(3, 0));
+        let mut b = Liveness::new();
+        b.mark_live(mref(0, 1), LiveReason::UnsafeCast);
+        b.mark_live(mref(2, 0), LiveReason::AddressTaken);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // Same classification either way...
+        for m in [mref(0, 0), mref(0, 1), mref(2, 0), mref(3, 0), mref(9, 9)] {
+            assert_eq!(ab.is_live(m), ba.is_live(m), "{m:?}");
+            assert_eq!(ab.is_dead(m), ba.is_dead(m), "{m:?}");
+            assert_eq!(ab.is_unclassifiable(m), ba.is_unclassifiable(m), "{m:?}");
+        }
+        assert_eq!(ab.live_count(), ba.live_count());
+        // ...while the recorded reason keeps the receiver's (first) mark.
+        assert_eq!(ab.reason(mref(0, 1)), Some(LiveReason::Sizeof));
+        assert_eq!(ba.reason(mref(0, 1)), Some(LiveReason::UnsafeCast));
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = Liveness::new();
+        a.mark_live(mref(1, 0), LiveReason::Read);
+        a.mark_live(mref(1, 1), LiveReason::VolatileWrite);
+        a.mark_unclassifiable(mref(2, 0));
+        let snapshot = a.clone();
+        assert!(!a.merge(&snapshot), "self-merge must be a no-op");
+        assert_eq!(a, snapshot);
+        // A second application of the same delta changes nothing either.
+        let mut target = Liveness::new();
+        assert!(target.merge(&snapshot));
+        assert!(!target.merge(&snapshot));
+        assert_eq!(target, snapshot);
+    }
+
+    #[test]
+    fn merge_is_monotone_never_unlivens() {
+        let mut a = Liveness::new();
+        a.mark_live(mref(0, 0), LiveReason::Read);
+        a.mark_live(mref(4, 2), LiveReason::PointerToMember);
+        let before: Vec<_> = a.live_members().collect();
+        a.merge(&Liveness::new()); // empty delta
+        let mut b = Liveness::new();
+        b.mark_live(mref(5, 0), LiveReason::UnionPropagation);
+        a.merge(&b);
+        for (m, r) in before {
+            assert!(a.is_live(m), "merge un-livened {m:?}");
+            assert_eq!(a.reason(m), Some(r), "merge rewrote the reason of {m:?}");
+        }
+        assert!(a.is_live(mref(5, 0)));
+    }
+
+    #[test]
+    fn merge_reports_whether_anything_changed() {
+        let mut a = Liveness::new();
+        let mut b = Liveness::new();
+        b.mark_live(mref(0, 0), LiveReason::Read);
+        assert!(a.merge(&b));
+        assert!(!a.merge(&b));
+        let mut c = Liveness::new();
+        c.mark_unclassifiable(mref(0, 1));
+        assert!(a.merge(&c));
+        assert!(!a.merge(&c));
     }
 
     #[test]

@@ -106,6 +106,23 @@ impl AnalysisPipeline {
         config: AnalysisConfig,
         algorithm: Algorithm,
     ) -> Result<AnalysisPipeline, PipelineError> {
+        Self::with_config_jobs(source, config, algorithm, 1)
+    }
+
+    /// Runs the full pipeline, sharding the liveness scan across `jobs`
+    /// worker threads (see [`DeadMemberAnalysis::run_jobs`]). Results are
+    /// bit-identical for every `jobs` value; `jobs <= 1` is the
+    /// sequential reference path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] for parse, semantic, or type failures.
+    pub fn with_config_jobs(
+        source: &str,
+        config: AnalysisConfig,
+        algorithm: Algorithm,
+        jobs: usize,
+    ) -> Result<AnalysisPipeline, PipelineError> {
         let tu = parse(source)?;
         let program = Program::build(&tu)?;
         let (callgraph, liveness, used) = {
@@ -119,7 +136,8 @@ impl AnalysisPipeline {
                     .collect(),
             };
             let callgraph = CallGraph::build(&program, &lookup, &cg_options)?;
-            let liveness = DeadMemberAnalysis::new(&program, config.clone()).run(&callgraph)?;
+            let liveness =
+                DeadMemberAnalysis::new(&program, config.clone()).run_jobs(&callgraph, jobs)?;
             let used = used_classes(&program, &lookup)?;
             (callgraph, liveness, used)
         };
@@ -131,6 +149,54 @@ impl AnalysisPipeline {
             used,
             config,
         })
+    }
+
+    /// Analyses a batch of named sources concurrently on `jobs` worker
+    /// threads (each source runs the full sequential pipeline; the
+    /// parallelism is across programs, so worker threads are never
+    /// oversubscribed).
+    ///
+    /// Results are returned **in input order**, independent of which
+    /// worker finished first — batch mode is as deterministic as a
+    /// `for` loop over [`AnalysisPipeline::with_config`].
+    pub fn run_suite(
+        inputs: &[(String, String)],
+        config: &AnalysisConfig,
+        algorithm: Algorithm,
+        jobs: usize,
+    ) -> Vec<(String, Result<AnalysisPipeline, PipelineError>)> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let jobs = jobs.max(1).min(inputs.len().max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<AnalysisPipeline, PipelineError>>>> =
+            inputs.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((_, source)) = inputs.get(i) else {
+                        break;
+                    };
+                    let result = Self::with_config(source, config.clone(), algorithm);
+                    *slots[i].lock().expect("suite slot poisoned") = Some(result);
+                });
+            }
+        });
+
+        inputs
+            .iter()
+            .zip(slots)
+            .map(|((name, _), slot)| {
+                let result = slot
+                    .into_inner()
+                    .expect("suite slot poisoned")
+                    .expect("every input is analysed exactly once");
+                (name.clone(), result)
+            })
+            .collect()
     }
 
     /// The parsed translation unit the analysis ran on.
@@ -184,6 +250,50 @@ mod tests {
         assert_eq!(report.dead_member_names(), vec!["A::dead"]);
         assert!(run.callgraph().reachable_count() >= 1);
         assert_eq!(run.used().len(), 1);
+    }
+
+    #[test]
+    fn run_suite_keeps_input_order_and_matches_single_runs() {
+        let inputs: Vec<(String, String)> = (0..6)
+            .map(|i| {
+                (
+                    format!("prog{i}"),
+                    format!(
+                        "class A{i} {{ public: int live; int dead{i}; }};\n\
+                         int main() {{ A{i} a; return a.live; }}"
+                    ),
+                )
+            })
+            .collect();
+        for jobs in [1, 3, 8] {
+            let results = AnalysisPipeline::run_suite(
+                &inputs,
+                &AnalysisConfig::default(),
+                Algorithm::Rta,
+                jobs,
+            );
+            assert_eq!(results.len(), inputs.len());
+            for (i, (name, run)) in results.iter().enumerate() {
+                assert_eq!(name, &format!("prog{i}"), "jobs={jobs} reordered output");
+                let run = run.as_ref().expect("pipeline ok");
+                assert_eq!(
+                    run.report().dead_member_names(),
+                    vec![format!("A{i}::dead{i}")]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_suite_surfaces_per_input_errors() {
+        let inputs = vec![
+            ("good".to_string(), "int main() { return 0; }".to_string()),
+            ("bad".to_string(), "class {".to_string()),
+        ];
+        let results =
+            AnalysisPipeline::run_suite(&inputs, &AnalysisConfig::default(), Algorithm::Rta, 4);
+        assert!(results[0].1.is_ok());
+        assert!(matches!(results[1].1, Err(PipelineError::Parse(_))));
     }
 
     #[test]

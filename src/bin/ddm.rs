@@ -5,6 +5,8 @@
 //!
 //! options:
 //!   --callgraph <rta|pta|cha|everything>   call-graph builder (default rta)
+//!   --jobs <N>                         shard the liveness scan across N worker
+//!                                      threads (deterministic; default 1)
 //!   --library <Class,Class,...>        classes whose source is unavailable (§3.3)
 //!   --sizeof-conservative              treat sizeof conservatively (§3.2; default: ignore)
 //!   --unsafe-downcasts                 treat down-casts as unsafe (default: assume verified)
@@ -22,6 +24,7 @@ use std::process::ExitCode;
 struct Options {
     file: String,
     algorithm: Algorithm,
+    jobs: usize,
     library: Vec<String>,
     sizeof_conservative: bool,
     unsafe_downcasts: bool,
@@ -36,6 +39,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         file: String::new(),
         algorithm: Algorithm::Rta,
+        jobs: 1,
         library: Vec::new(),
         sizeof_conservative: false,
         unsafe_downcasts: false,
@@ -55,6 +59,15 @@ fn parse_args() -> Result<Options, String> {
                     "everything" => Algorithm::Everything,
                     other => return Err(format!("unknown call-graph builder `{other}`")),
                 };
+            }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a value")?;
+                opts.jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs needs a positive integer, got `{v}`"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
             }
             "--library" => {
                 let v = args.next().ok_or("--library needs a value")?;
@@ -90,7 +103,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!("usage: ddm <file.cpp> [--callgraph rta|pta|cha|everything] [--library A,B]");
-            eprintln!("           [--sizeof-conservative] [--unsafe-downcasts]");
+            eprintln!("           [--jobs N] [--sizeof-conservative] [--unsafe-downcasts]");
             eprintln!("           [--run] [--profile] [--layout] [--eliminate out.cpp]");
             return ExitCode::from(2);
         }
@@ -113,7 +126,8 @@ fn main() -> ExitCode {
         assume_safe_downcasts: !opts.unsafe_downcasts,
         library_classes: opts.library.iter().cloned().collect(),
     };
-    let pipeline = match AnalysisPipeline::with_config(&source, config, opts.algorithm) {
+    let pipeline = match AnalysisPipeline::with_config_jobs(&source, config, opts.algorithm, opts.jobs)
+    {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");

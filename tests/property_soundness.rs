@@ -5,56 +5,70 @@
 //! (or address-taken) during execution must be classified live by the
 //! static analysis. This ties together every crate in the workspace:
 //! parser → model → call graph → analysis vs. interpreter ground truth.
+//!
+//! The cases are drawn with the workspace's own seeded PRNG rather than
+//! an external property-testing crate (the build environment is
+//! offline), so every run exercises the identical deterministic sweep.
 
 use dead_data_members::benchmarks::generator::{generate, GeneratorConfig};
+use dead_data_members::benchmarks::rng::Rng;
 use dead_data_members::prelude::*;
-use proptest::prelude::*;
 
-fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
-    (1usize..8, 1usize..6, 1usize..4, 0usize..6, 1usize..8).prop_map(
-        |(classes, members, methods, stmts, objects)| GeneratorConfig {
-            classes,
-            members_per_class: members,
-            methods_per_class: methods,
-            stmts_per_method: stmts,
-            objects_in_main: objects,
-        },
-    )
+/// Deterministic replacement for a proptest strategy: `n` generator
+/// configurations spanning the same shape space, each with its own
+/// program seed.
+fn cases(n: usize, stream_seed: u64) -> Vec<(GeneratorConfig, u64)> {
+    let mut rng = Rng::seed_from_u64(stream_seed);
+    (0..n)
+        .map(|_| {
+            let config = GeneratorConfig {
+                classes: rng.gen_range(1..8),
+                members_per_class: rng.gen_range(1..6),
+                methods_per_class: rng.gen_range(1..4),
+                stmts_per_method: rng.gen_range(0..6),
+                objects_in_main: rng.gen_range(1..8),
+            };
+            let seed = rng.next_u64() % 10_000;
+            (config, seed)
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_programs_are_accepted_end_to_end(config in arb_config(), seed in 0u64..10_000) {
+#[test]
+fn generated_programs_are_accepted_end_to_end() {
+    for (config, seed) in cases(48, 0xE2E) {
         let src = generate(&config, seed);
         let run = AnalysisPipeline::from_source(&src)
             .unwrap_or_else(|e| panic!("pipeline failed: {e}\n{src}"));
         let exec = Interpreter::new(run.program())
             .run(&RunConfig::default())
             .unwrap_or_else(|e| panic!("execution failed: {e}\n{src}"));
-        prop_assert!(exec.steps > 0);
+        assert!(exec.steps > 0);
     }
+}
 
-    #[test]
-    fn analysis_is_sound_against_the_interpreter(config in arb_config(), seed in 0u64..10_000) {
+#[test]
+fn analysis_is_sound_against_the_interpreter() {
+    for (config, seed) in cases(48, 0x50BE) {
         let src = generate(&config, seed);
         let run = AnalysisPipeline::from_source(&src).expect("pipeline");
         let exec = Interpreter::new(run.program())
             .run(&RunConfig::default())
             .expect("run");
         for m in &exec.members_observed {
-            prop_assert!(
+            assert!(
                 run.liveness().is_live(*m),
                 "member {m} observed at run time but statically dead\n{src}"
             );
         }
     }
+}
 
-    #[test]
-    fn pta_refinement_is_also_sound(config in arb_config(), seed in 0u64..10_000) {
-        // The §3.1 points-to refinement prunes dispatch targets; it must
-        // never prune one the interpreter actually reaches.
+#[test]
+fn pta_refinement_is_also_sound() {
+    // The §3.1 points-to refinement prunes dispatch targets; it must
+    // never prune one the interpreter actually reaches.
+    for (config, seed) in cases(48, 0x97A) {
         let src = generate(&config, seed);
         let run = AnalysisPipeline::with_config(&src, Default::default(), Algorithm::Pta)
             .expect("pipeline");
@@ -62,80 +76,115 @@ proptest! {
             .run(&RunConfig::default())
             .expect("run");
         for m in &exec.members_observed {
-            prop_assert!(
+            assert!(
                 run.liveness().is_live(*m),
                 "PTA: member {m} observed at run time but statically dead\n{src}"
             );
         }
     }
+}
 
-    #[test]
-    fn pretty_printer_round_trips_generated_programs(config in arb_config(), seed in 0u64..10_000) {
+#[test]
+fn parallel_analysis_matches_sequential_on_generated_programs() {
+    // Differential property over random programs: the sharded engine
+    // must agree with the sequential reference bit-for-bit, for every
+    // worker count.
+    for (config, seed) in cases(24, 0x7A12) {
+        let src = generate(&config, seed);
+        let sequential = AnalysisPipeline::from_source(&src).expect("pipeline");
+        for jobs in [2, 3, 8] {
+            let parallel =
+                AnalysisPipeline::with_config_jobs(&src, Default::default(), Algorithm::Rta, jobs)
+                    .expect("parallel pipeline");
+            assert_eq!(
+                sequential.liveness(),
+                parallel.liveness(),
+                "jobs={jobs} diverged\n{src}"
+            );
+            assert_eq!(
+                sequential.report().to_string(),
+                parallel.report().to_string(),
+                "jobs={jobs} report diverged\n{src}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pretty_printer_round_trips_generated_programs() {
+    for (config, seed) in cases(48, 0xB0B) {
         let src = generate(&config, seed);
         let tu1 = dead_data_members::cppfront::parse(&src).expect("parse");
         let printed = dead_data_members::cppfront::print_unit(&tu1);
         let tu2 = dead_data_members::cppfront::parse(&printed)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         // The printer must be a fixpoint, and structure must be preserved.
-        prop_assert_eq!(&printed, &dead_data_members::cppfront::print_unit(&tu2));
-        prop_assert_eq!(tu1.classes.len(), tu2.classes.len());
-        prop_assert_eq!(tu1.data_member_count(), tu2.data_member_count());
+        assert_eq!(&printed, &dead_data_members::cppfront::print_unit(&tu2));
+        assert_eq!(tu1.classes.len(), tu2.classes.len());
+        assert_eq!(tu1.data_member_count(), tu2.data_member_count());
     }
+}
 
-    #[test]
-    fn layout_invariants(config in arb_config(), seed in 0u64..10_000) {
+#[test]
+fn layout_invariants() {
+    for (config, seed) in cases(48, 0x1A1) {
         let src = generate(&config, seed);
         let tu = dead_data_members::cppfront::parse(&src).expect("parse");
         let program = Program::build(&tu).expect("sema");
         let layouts = LayoutEngine::new(&program);
         for (cid, info) in program.classes() {
             let layout = layouts.layout(cid);
-            prop_assert!(layout.size >= 1, "{}", info.name);
-            prop_assert!(layout.align.is_power_of_two());
-            prop_assert_eq!(layout.size % layout.align, 0, "size must honor alignment");
+            assert!(layout.size >= 1, "{}", info.name);
+            assert!(layout.align.is_power_of_two());
+            assert_eq!(layout.size % layout.align, 0, "size must honor alignment");
             // Field slots are disjoint and inside the object.
             let mut slots: Vec<_> = layout.fields.clone();
             slots.sort_by_key(|f| f.offset);
             for w in slots.windows(2) {
-                prop_assert!(
+                assert!(
                     w[0].offset + w[0].size <= w[1].offset,
                     "{}: overlapping fields",
                     info.name
                 );
             }
             if let Some(last) = slots.last() {
-                prop_assert!(last.offset + last.size <= layout.size);
+                assert!(last.offset + last.size <= layout.size);
             }
             // The trimmed size can never exceed the full size.
             let all = layout.bytes_where(|_| true);
-            prop_assert!(all <= layout.size);
+            assert!(all <= layout.size);
         }
     }
+}
 
-    #[test]
-    fn liveness_is_monotone_in_callgraph_precision(config in arb_config(), seed in 0u64..10_000) {
+#[test]
+fn liveness_is_monotone_in_callgraph_precision() {
+    for (config, seed) in cases(48, 0x3CA) {
         let src = generate(&config, seed);
         let dead = |alg| {
-            let run = AnalysisPipeline::with_config(&src, Default::default(), alg).expect("pipeline");
+            let run =
+                AnalysisPipeline::with_config(&src, Default::default(), alg).expect("pipeline");
             run.report().dead_member_names().len()
         };
         let everything = dead(Algorithm::Everything);
         let cha = dead(Algorithm::Cha);
         let rta = dead(Algorithm::Rta);
-        prop_assert!(everything <= cha && cha <= rta, "{src}");
+        assert!(everything <= cha && cha <= rta, "{src}");
     }
+}
 
-    #[test]
-    fn profile_is_consistent_for_generated_programs(config in arb_config(), seed in 0u64..10_000) {
-        use dead_data_members::dynamic::profile_trace;
+#[test]
+fn profile_is_consistent_for_generated_programs() {
+    use dead_data_members::dynamic::profile_trace;
+    for (config, seed) in cases(48, 0xF00D) {
         let src = generate(&config, seed);
         let run = AnalysisPipeline::from_source(&src).expect("pipeline");
         let exec = Interpreter::new(run.program())
             .run(&RunConfig::default())
             .expect("run");
         let p = profile_trace(run.program(), &exec.trace, run.liveness());
-        prop_assert!(p.dead_member_space <= p.object_space);
-        prop_assert!(p.high_water_mark <= p.object_space);
-        prop_assert!(p.high_water_mark_without_dead <= p.high_water_mark);
+        assert!(p.dead_member_space <= p.object_space);
+        assert!(p.high_water_mark <= p.object_space);
+        assert!(p.high_water_mark_without_dead <= p.high_water_mark);
     }
 }

@@ -17,4 +17,16 @@ cargo test --release --test parallel_determinism -- --nocapture
 cargo test --release --test parallel_special_cases
 cargo run --release --bin ddm -- crates/benchmarks/programs/richards.cpp --jobs 8 > /dev/null
 
+echo "== engine equivalence (summary vs walk) =="
+cargo test --release --test engine_equivalence
+cargo test --release --test walk_once
+# The summary engine is the default; gate its --jobs 8 determinism the
+# same way, and the retained walk engine explicitly.
+cargo run --release --bin ddm -- crates/benchmarks/programs/richards.cpp --engine summary --jobs 8 > /dev/null
+cargo run --release --bin ddm -- crates/benchmarks/programs/richards.cpp --engine walk --jobs 8 > /dev/null
+
+echo "== bench suite smoke (non-gating on time) =="
+cargo run --release -p ddm-bench --bin bench_suite -- --json --samples 3 > /dev/null
+test -s BENCH_suite.json
+
 echo "ci.sh: all gates passed"

@@ -1,0 +1,211 @@
+//! Engine comparison over the whole benchmark suite: per-program wall
+//! time for call-graph construction and the liveness analysis, for both
+//! engines (walk vs. summary) at 1 and 8 workers.
+//!
+//! For the walk engine the call-graph phase is `MemberLookup` + the
+//! re-walking fixpoint; for the summary engine it is summary extraction
+//! (the only AST traversal of the run) + worklist replay, so the
+//! comparison charges extraction where it actually happens.
+//!
+//! ```text
+//! bench_suite [--json] [--samples N]
+//! ```
+//!
+//! `--json` additionally writes `BENCH_suite.json` (machine-readable,
+//! consumed by `ci.sh` as a smoke check). Timings are minima over `N`
+//! samples (default 9) — the least noisy estimator for deterministic
+//! CPU-bound work.
+
+use ddm_bench::timing;
+use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
+use ddm_core::{AnalysisConfig, DeadMemberAnalysis, SizeofPolicy};
+use ddm_hierarchy::{MemberLookup, Program, ProgramSummary};
+use std::time::Duration;
+
+struct Cell {
+    callgraph: Duration,
+    analysis: Duration,
+}
+
+impl Cell {
+    fn total(&self) -> Duration {
+        self.callgraph + self.analysis
+    }
+}
+
+struct Row {
+    name: &'static str,
+    functions: usize,
+    // [engine][jobs-index]: engines are [walk, summary], jobs are [1, 8].
+    cells: [[Cell; 2]; 2],
+}
+
+const JOBS: [usize; 2] = [1, 8];
+const ENGINES: [&str; 2] = ["walk", "summary"];
+
+fn suite_config() -> AnalysisConfig {
+    AnalysisConfig {
+        assume_safe_downcasts: true,
+        sizeof_policy: SizeofPolicy::Ignore,
+        ..Default::default()
+    }
+}
+
+fn measure(program: &Program, samples: usize) -> [[Cell; 2]; 2] {
+    let options = CallGraphOptions {
+        algorithm: Algorithm::Rta,
+        ..Default::default()
+    };
+    let walk = JOBS.map(|jobs| {
+        let (callgraph, _) = timing::time(samples, || {
+            let lookup = MemberLookup::new(program);
+            CallGraph::build(program, &lookup, &options).unwrap()
+        });
+        let lookup = MemberLookup::new(program);
+        let graph = CallGraph::build(program, &lookup, &options).unwrap();
+        let analysis = DeadMemberAnalysis::new(program, suite_config());
+        let (liveness, _) = timing::time(samples, || analysis.run_jobs(&graph, jobs).unwrap());
+        Cell {
+            callgraph,
+            analysis: liveness,
+        }
+    });
+    let summary_cells = JOBS.map(|jobs| {
+        let (callgraph, _) = timing::time(samples, || {
+            let summary = ProgramSummary::build(program, false, jobs);
+            CallGraph::build_from_summary(program, &summary, &options).unwrap()
+        });
+        let summary = ProgramSummary::build(program, false, jobs);
+        let graph = CallGraph::build_from_summary(program, &summary, &options).unwrap();
+        let analysis = DeadMemberAnalysis::new(program, suite_config());
+        let (liveness, _) = timing::time(samples, || analysis.run_summary(&summary, &graph).unwrap());
+        Cell {
+            callgraph,
+            analysis: liveness,
+        }
+    });
+    [walk, summary_cells]
+}
+
+fn total_for(rows: &[Row], engine: usize, jobs_ix: usize) -> Duration {
+    rows.iter().map(|r| r.cells[engine][jobs_ix].total()).sum()
+}
+
+fn json_escape_free(name: &str) -> &str {
+    // Benchmark names are ASCII identifiers; assert rather than escape.
+    assert!(
+        name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'),
+        "benchmark name {name:?} needs JSON escaping"
+    );
+    name
+}
+
+fn render_json(rows: &[Row], samples: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"suite\": \"ddm-benchmarks\",\n");
+    out.push_str("  \"algorithm\": \"rta\",\n");
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str("  \"programs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"functions\": {}, \"engines\": {{",
+            json_escape_free(row.name),
+            row.functions
+        ));
+        for (e, engine) in ENGINES.iter().enumerate() {
+            out.push_str(&format!("\"{engine}\": {{"));
+            for (j, jobs) in JOBS.iter().enumerate() {
+                let c = &row.cells[e][j];
+                out.push_str(&format!(
+                    "\"jobs{jobs}\": {{\"callgraph_ns\": {}, \"analysis_ns\": {}, \"total_ns\": {}}}",
+                    c.callgraph.as_nanos(),
+                    c.analysis.as_nanos(),
+                    c.total().as_nanos()
+                ));
+                if j + 1 < JOBS.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push('}');
+            if e + 1 < ENGINES.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("}}");
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"totals\": {\n");
+    for (j, jobs) in JOBS.iter().enumerate() {
+        let walk = total_for(rows, 0, j);
+        let summary = total_for(rows, 1, j);
+        let speedup = walk.as_secs_f64() / summary.as_secs_f64().max(f64::EPSILON);
+        out.push_str(&format!(
+            "    \"walk_jobs{jobs}_ns\": {}, \"summary_jobs{jobs}_ns\": {}, \"speedup_jobs{jobs}\": {:.2}",
+            walk.as_nanos(),
+            summary.as_nanos(),
+            speedup
+        ));
+        out.push_str(if j + 1 < JOBS.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let samples = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(9);
+
+    let mut rows = Vec::new();
+    for b in ddm_benchmarks::suite() {
+        let tu = ddm_cppfront::parse(b.source).unwrap();
+        let program = Program::build(&tu).unwrap();
+        let cells = measure(&program, samples);
+        rows.push(Row {
+            name: b.name,
+            functions: program.functions().count(),
+            cells,
+        });
+    }
+
+    println!(
+        "{:<12} {:>6}  {:>22}  {:>22}  {:>8}",
+        "program", "funcs", "walk cg+analysis (j1)", "summary cg+analysis (j1)", "speedup"
+    );
+    for row in &rows {
+        let walk = row.cells[0][0].total();
+        let summary = row.cells[1][0].total();
+        println!(
+            "{:<12} {:>6}  {:>22.1?}  {:>22.1?}  {:>7.2}x",
+            row.name,
+            row.functions,
+            walk,
+            summary,
+            walk.as_secs_f64() / summary.as_secs_f64().max(f64::EPSILON)
+        );
+    }
+    for (j, jobs) in JOBS.iter().enumerate() {
+        let walk = total_for(&rows, 0, j);
+        let summary = total_for(&rows, 1, j);
+        println!(
+            "total (jobs={jobs}): walk {:.1?}  summary {:.1?}  speedup {:.2}x",
+            walk,
+            summary,
+            walk.as_secs_f64() / summary.as_secs_f64().max(f64::EPSILON)
+        );
+    }
+
+    if json {
+        let path = "BENCH_suite.json";
+        std::fs::write(path, render_json(&rows, samples)).expect("write BENCH_suite.json");
+        println!("wrote {path}");
+    }
+}

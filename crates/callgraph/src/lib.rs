@@ -21,11 +21,12 @@
 //! are reachable, and application overrides of virtual methods declared in
 //! user-designated *library classes* are reachable (callbacks).
 
-pub mod pta;
+pub use ddm_hierarchy::pta;
 
 use ddm_hierarchy::{
-    resolve_ctor, walk_function, walk_globals, CallEvent, CallTarget, ClassId, DeleteEvent,
-    EventVisitor, FuncId, InstantiationEvent, MemberLookup, Program, TypeError,
+    resolve_ctor, walk_function, walk_globals, CallEvent, CallTarget, CgStep, ClassId, DeleteEvent,
+    EventVisitor, FnSummary, FuncId, InstantiationEvent, MemberLookup, Program, ProgramSummary,
+    TypeError,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
@@ -68,7 +69,7 @@ pub struct CallGraphOptions {
 }
 
 /// The computed call graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CallGraph {
     algorithm: Algorithm,
     reachable: BTreeSet<FuncId>,
@@ -146,25 +147,7 @@ impl CallGraph {
             pending_fp_calls: BTreeSet::new(),
         };
 
-        // Roots: main, plus application overrides of library virtuals.
-        if let Some(main) = program.main_function() {
-            state.reachable.insert(main);
-        }
-        for (fid, f) in program.functions() {
-            let Some(class) = f.class else { continue };
-            if options.library_classes.contains(&class) {
-                continue;
-            }
-            if f.is_virtual
-                && f.body.is_some()
-                && program
-                    .ancestors_of(class)
-                    .iter()
-                    .any(|a| options.library_classes.contains(a))
-            {
-                state.reachable.insert(fid);
-            }
-        }
+        state.reachable = propagation_roots(program, options);
 
         // Global initializers always run.
         {
@@ -202,6 +185,96 @@ impl CallGraph {
                 break;
             }
         }
+
+        Ok(CallGraph {
+            algorithm: options.algorithm,
+            reachable: state.reachable,
+            instantiated: state.instantiated,
+            edges: state.edges,
+            address_taken: state.address_taken,
+        })
+    }
+
+    /// Builds a call graph from precomputed walk-once function summaries
+    /// instead of traversing ASTs.
+    ///
+    /// Produces a graph identical to [`CallGraph::build`] for the same
+    /// program and options: the fixpoint replays each function's
+    /// [`CgStep`]s exactly once, in the same round-structured schedule the
+    /// walking builder sweeps in, and widens already-replayed virtual
+    /// call and `delete` sites through a class-indexed pending-dispatch
+    /// worklist when their candidate receiver classes become
+    /// instantiated. For PTA graphs the summaries must have been built
+    /// with receiver refinement enabled
+    /// (`ProgramSummary::build(program, true, jobs)`).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the [`TypeError`]s recorded in the summaries of reachable
+    /// functions, in the same order the walking builder would hit them.
+    pub fn build_from_summary(
+        program: &Program,
+        summary: &ProgramSummary,
+        options: &CallGraphOptions,
+    ) -> Result<CallGraph, TypeError> {
+        if options.algorithm == Algorithm::Everything {
+            return Ok(Self::build_everything(program));
+        }
+        let mut state = SummaryReplayer {
+            program,
+            cha: options.algorithm == Algorithm::Cha,
+            reachable: propagation_roots(program, options),
+            instantiated: BTreeSet::new(),
+            edges: BTreeMap::new(),
+            address_taken: BTreeSet::new(),
+            pending_fp_calls: BTreeSet::new(),
+            pending_dispatch: HashMap::new(),
+            ready: HashMap::new(),
+        };
+
+        // Global initializers run once, before the sweep — their dispatch
+        // decisions are frozen at this point, exactly as in the walking
+        // builder, so they never register pending candidates.
+        state.replay(None, summary.globals()?, false);
+
+        // Round-structured replay of the walking builder's sweep: each
+        // round snapshots the reachable set and visits it in id order. A
+        // function's first visit replays its full summary (registering
+        // the dispatch candidates that are not yet instantiated); later
+        // visits only drain the edges that instantiations have readied
+        // for it — the work a re-walk would discover, without the walk.
+        let mut replayed = vec![false; program.function_count()];
+        loop {
+            let before = (
+                state.reachable.len(),
+                state.instantiated.len(),
+                state.edge_total(),
+            );
+            let work: Vec<FuncId> = state.reachable.iter().copied().collect();
+            for fid in work {
+                if !replayed[fid.index()] {
+                    replayed[fid.index()] = true;
+                    state.replay(Some(fid), summary.function(fid)?, true);
+                } else if let Some(widened) = state.ready.remove(&fid) {
+                    for t in widened {
+                        state.add_edge(Some(fid), t);
+                    }
+                }
+            }
+            state.resolve_function_pointer_calls();
+            if (
+                state.reachable.len(),
+                state.instantiated.len(),
+                state.edge_total(),
+            ) == before
+            {
+                break;
+            }
+        }
+        debug_assert!(
+            state.ready.is_empty(),
+            "every readied widening is drained before the fixpoint settles"
+        );
 
         Ok(CallGraph {
             algorithm: options.algorithm,
@@ -482,6 +555,199 @@ impl EventVisitor for EventSink<'_, '_> {
     }
 }
 
+/// The roots of the propagating builders: `main`, plus application
+/// overrides (with bodies) of virtual methods declared in library
+/// classes, which library code may call back into (§3.3).
+fn propagation_roots(program: &Program, options: &CallGraphOptions) -> BTreeSet<FuncId> {
+    let mut roots = BTreeSet::new();
+    if let Some(main) = program.main_function() {
+        roots.insert(main);
+    }
+    for (fid, f) in program.functions() {
+        let Some(class) = f.class else { continue };
+        if options.library_classes.contains(&class) {
+            continue;
+        }
+        if f.is_virtual
+            && f.body.is_some()
+            && program
+                .ancestors_of(class)
+                .iter()
+                .any(|a| options.library_classes.contains(a))
+        {
+            roots.insert(fid);
+        }
+    }
+    roots
+}
+
+/// Fixpoint state of [`CallGraph::build_from_summary`]: the walking
+/// builder's propagation state, plus the worklist indexes that replace
+/// re-walking — `pending_dispatch` remembers which not-yet-instantiated
+/// receiver classes would widen which already-replayed sites, and `ready`
+/// holds the widened edges until the owner's slot in the round order
+/// comes up (the moment its re-walk would have added them).
+struct SummaryReplayer<'p> {
+    program: &'p Program,
+    cha: bool,
+    reachable: BTreeSet<FuncId>,
+    instantiated: BTreeSet<ClassId>,
+    edges: BTreeMap<FuncId, BTreeSet<FuncId>>,
+    address_taken: BTreeSet<FuncId>,
+    pending_fp_calls: BTreeSet<FuncId>,
+    /// Receiver class → (owner function, dispatch target) pairs waiting
+    /// for that class to be instantiated.
+    pending_dispatch: HashMap<ClassId, Vec<(FuncId, FuncId)>>,
+    /// Owner function → widened edges to add at its next round slot.
+    ready: HashMap<FuncId, BTreeSet<FuncId>>,
+}
+
+impl SummaryReplayer<'_> {
+    fn edge_total(&self) -> usize {
+        self.edges.values().map(|s| s.len()).sum()
+    }
+
+    fn mark_reachable(&mut self, func: FuncId) {
+        self.reachable.insert(func);
+    }
+
+    fn add_edge(&mut self, caller: Option<FuncId>, callee: FuncId) {
+        if let Some(c) = caller {
+            self.edges.entry(c).or_default().insert(callee);
+        }
+        self.mark_reachable(callee);
+    }
+
+    /// [`Builder::instantiate`]'s closure, plus the worklist step: a
+    /// newly instantiated class releases its pending dispatch candidates
+    /// into the owners' ready sets.
+    fn instantiate(&mut self, caller: Option<FuncId>, class: ClassId, ctor: Option<FuncId>) {
+        if let Some(c) = ctor {
+            self.add_edge(caller, c);
+        }
+        let mut stack = vec![class];
+        while let Some(c) = stack.pop() {
+            if !self.instantiated.insert(c) {
+                continue;
+            }
+            if let Some(waiters) = self.pending_dispatch.remove(&c) {
+                for (owner, target) in waiters {
+                    self.ready.entry(owner).or_default().insert(target);
+                }
+            }
+            if let Some(d) = self.program.destructor(c) {
+                self.mark_reachable(d);
+            }
+            let info = self.program.class(c);
+            for b in &info.bases {
+                if let Some(dc) = resolve_ctor(self.program, b.id, 0) {
+                    self.mark_reachable(dc);
+                }
+                stack.push(b.id);
+            }
+            for m in &info.members {
+                if let Some(name) = ddm_hierarchy::by_value_class(&m.ty) {
+                    if let Some(id) = self.program.class_by_name(name) {
+                        if let Some(dc) = resolve_ctor(self.program, id, 0) {
+                            self.mark_reachable(dc);
+                        }
+                        stack.push(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Filters a site's pre-resolved dispatch candidates by the current
+    /// instantiated set; when `register`ing, parks the rest in the
+    /// pending-dispatch worklist so a later instantiation widens this
+    /// site without revisiting it.
+    fn filter_candidates(
+        &mut self,
+        caller: Option<FuncId>,
+        candidates: &[(ClassId, FuncId)],
+        register: bool,
+        targets: &mut BTreeSet<FuncId>,
+    ) {
+        for &(c, f) in candidates {
+            if self.cha || self.instantiated.contains(&c) {
+                targets.insert(f);
+            } else if register {
+                if let Some(owner) = caller {
+                    self.pending_dispatch.entry(c).or_default().push((owner, f));
+                }
+            }
+        }
+    }
+
+    /// Replays one summary's call-graph steps in body order, mirroring
+    /// [`EventSink`]'s handling of the corresponding events.
+    fn replay(&mut self, caller: Option<FuncId>, summary: &FnSummary, register: bool) {
+        for step in &summary.cg_steps {
+            match step {
+                CgStep::Call(f) => self.add_edge(caller, *f),
+                CgStep::VirtualCall(site) => {
+                    let mut targets = BTreeSet::new();
+                    match &site.refined {
+                        Some(fs) => targets.extend(fs.iter().copied()),
+                        None => {
+                            self.filter_candidates(caller, &site.candidates, register, &mut targets)
+                        }
+                    }
+                    if targets.is_empty() {
+                        // No receiver established yet (or a null-only
+                        // pointer): keep the static declaration.
+                        self.add_edge(caller, site.decl);
+                    }
+                    for t in targets {
+                        self.add_edge(caller, t);
+                    }
+                }
+                CgStep::FnPointerCall => {
+                    if let Some(c) = caller {
+                        self.pending_fp_calls.insert(c);
+                    }
+                }
+                CgStep::TakeAddress(f) => {
+                    self.address_taken.insert(*f);
+                    self.mark_reachable(*f);
+                }
+                CgStep::Instantiate { class, ctor } => self.instantiate(caller, *class, *ctor),
+                CgStep::Delete(site) => {
+                    if let Some(dtor) = site.dtor {
+                        if site.virtual_dtor {
+                            let mut targets = BTreeSet::new();
+                            self.filter_candidates(
+                                caller,
+                                &site.candidates,
+                                register,
+                                &mut targets,
+                            );
+                            for t in targets {
+                                self.add_edge(caller, t);
+                            }
+                        }
+                        self.add_edge(caller, dtor);
+                    }
+                    for &d in &site.ancestor_dtors {
+                        self.add_edge(caller, d);
+                    }
+                }
+            }
+        }
+    }
+
+    fn resolve_function_pointer_calls(&mut self) {
+        let callers: Vec<FuncId> = self.pending_fp_calls.iter().copied().collect();
+        let targets: Vec<FuncId> = self.address_taken.iter().copied().collect();
+        for caller in callers {
+            for &t in &targets {
+                self.add_edge(Some(caller), t);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -725,6 +991,56 @@ mod tests {
         let (_, g) = graph("int lonely() { return 1; }", Algorithm::Rta);
         assert_eq!(g.reachable_count(), 0);
         assert!(g.reachable_shards(4).is_empty());
+    }
+
+    #[test]
+    fn summary_replay_matches_walking_builder() {
+        // Exercises every step kind: static calls, virtual dispatch that
+        // widens across rounds, fn-pointer calls, address-taken
+        // functions, instantiation closures, and virtual deletes.
+        let src = "
+            class A { public: virtual int f() { return 0; } virtual ~A() { } };
+            class B : public A { public: virtual int f() { return make(); } ~B() { } };
+            class C : public A { public: virtual int f() { return 2; } };
+            int ind() { return 7; }
+            int make() { B* b = new B(); A* a = b; int r = a->f(); delete b; return r; }
+            int main() { A a; int (*fp)() = ind; return a.f() + fp() + make(); }";
+        let tu = parse(src).expect("parse");
+        let p = Program::build(&tu).expect("sema");
+        let lk = MemberLookup::new(&p);
+        for algorithm in [
+            Algorithm::Everything,
+            Algorithm::Cha,
+            Algorithm::Rta,
+            Algorithm::Pta,
+        ] {
+            let options = CallGraphOptions {
+                algorithm,
+                ..Default::default()
+            };
+            let walked = CallGraph::build(&p, &lk, &options).expect("walked");
+            let summary = ProgramSummary::build(&p, algorithm == Algorithm::Pta, 1);
+            let replayed = CallGraph::build_from_summary(&p, &summary, &options).expect("replayed");
+            assert_eq!(walked, replayed, "{algorithm} diverged");
+        }
+    }
+
+    #[test]
+    fn summary_replay_honours_library_roots() {
+        let src = "class Widget { public: virtual void on_click(); int id; };\n\
+                   class MyButton : public Widget { public: virtual void on_click() { count = count + 1; } int count; };\n\
+                   int main() { MyButton b; return 0; }";
+        let tu = parse(src).unwrap();
+        let p = Program::build(&tu).unwrap();
+        let lk = MemberLookup::new(&p);
+        let options = CallGraphOptions {
+            algorithm: Algorithm::Rta,
+            library_classes: [p.class_by_name("Widget").unwrap()].into_iter().collect(),
+        };
+        let walked = CallGraph::build(&p, &lk, &options).unwrap();
+        let summary = ProgramSummary::build(&p, false, 1);
+        let replayed = CallGraph::build_from_summary(&p, &summary, &options).unwrap();
+        assert_eq!(walked, replayed);
     }
 
     #[test]

@@ -17,12 +17,14 @@
 
 use crate::liveness::{LiveReason, Liveness};
 use ddm_callgraph::CallGraph;
-use ddm_cppfront::ast::{CastStyle, ClassKind, Type, TypeKind};
+use ddm_cppfront::ast::{ClassKind, Type};
 use ddm_hierarchy::{
-    by_value_class, walk_function, walk_globals, CastEvent, ClassId, EventVisitor,
-    MemberAccessEvent, MemberLookup, MemberRef, Program, TypeError,
+    by_value_class, classify_cast, strip_indirections, walk_function, walk_globals, CastEvent,
+    CastSafety, ClassId, EventVisitor, FnSummary, LiveStep, MarkAllCause, MemberAccessEvent,
+    MemberAccessKind, MemberLookup, MemberRef, Program, ProgramSummary, TypeError,
 };
 use std::collections::HashSet;
+use std::sync::mpsc;
 
 /// How uses of `sizeof` are treated (§3.2).
 ///
@@ -151,24 +153,31 @@ impl<'p> DeadMemberAnalysis<'p> {
         let program = self.program;
         let config = &self.config;
 
-        loop {
-            // One sharded scan round: each worker walks its slice of the
-            // reachable functions into a private delta (own liveness, own
-            // MarkAllContainedMembers visited set, own member lookup —
-            // the lookup's subobject cache is not Sync).
-            let deltas: Vec<Result<(Liveness, HashSet<ClassId>), TypeError>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = shards
-                        .iter()
-                        .map(|shard| {
-                            scope.spawn(move || {
-                                let lookup = MemberLookup::new(program);
-                                let mut worker = Marker {
-                                    program,
-                                    liveness: Liveness::new(),
-                                    visited: HashSet::new(),
-                                    config,
-                                };
+        // Persistent workers, one per shard, that live across scan
+        // rounds: each builds its `MemberLookup` (whose subobject cache
+        // is neither Sync nor Send) exactly once, inside its own thread,
+        // and re-scans its slice on command. Channels are unbounded, so
+        // neither side ever blocks on a send.
+        let scan_result: Result<(), TypeError> = std::thread::scope(|scope| {
+            type Delta = Result<(Liveness, HashSet<ClassId>), TypeError>;
+            let workers: Vec<(mpsc::Sender<()>, mpsc::Receiver<Delta>)> = shards
+                .iter()
+                .map(|shard| {
+                    let (cmd_tx, cmd_rx) = mpsc::channel::<()>();
+                    let (out_tx, out_rx) = mpsc::channel::<Delta>();
+                    scope.spawn(move || {
+                        let lookup = MemberLookup::new(program);
+                        while cmd_rx.recv().is_ok() {
+                            // One round: walk the slice into a private
+                            // delta (own liveness, own
+                            // MarkAllContainedMembers visited set).
+                            let mut worker = Marker {
+                                program,
+                                liveness: Liveness::new(),
+                                visited: HashSet::new(),
+                                config,
+                            };
+                            let delta = (|| {
                                 for &func in shard {
                                     let mut sink = Sink {
                                         marker: &mut worker,
@@ -176,29 +185,96 @@ impl<'p> DeadMemberAnalysis<'p> {
                                     walk_function(program, &lookup, func, &mut sink)?;
                                 }
                                 Ok((worker.liveness, worker.visited))
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("analysis worker panicked"))
-                        .collect()
-                });
+                            })();
+                            if out_tx.send(delta).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                    (cmd_tx, out_rx)
+                })
+                .collect();
 
-            // Deterministic reduction: fold the deltas in shard order, so
-            // an earlier shard's mark always wins — exactly the sequential
-            // scan order. The visited sets union into the shared marker
-            // for the union-propagation stage (the union of per-worker
-            // closures equals the sequential closure).
-            let mut round_changed = false;
-            for delta in deltas {
-                let (liveness, visited) = delta?;
-                round_changed |= marker.liveness.merge(&liveness);
-                marker.visited.extend(visited);
+            loop {
+                for (cmd, _) in &workers {
+                    cmd.send(()).expect("analysis worker alive");
+                }
+                // Deterministic reduction: fold the deltas in shard
+                // order, so an earlier shard's mark always wins — exactly
+                // the sequential scan order. The visited sets union into
+                // the shared marker for the union-propagation stage (the
+                // union of per-worker closures equals the sequential
+                // closure). An error likewise surfaces in shard order,
+                // matching the sequential path.
+                let mut round_changed = false;
+                for (_, out) in &workers {
+                    let (liveness, visited) = out.recv().expect("analysis worker delta")?;
+                    round_changed |= marker.liveness.merge(&liveness);
+                    marker.visited.extend(visited);
+                }
+                if !round_changed {
+                    // Dropping `workers` closes the command channels and
+                    // the workers exit before the scope joins them.
+                    return Ok(());
+                }
             }
-            if !round_changed {
-                break;
+        });
+        scan_result?;
+
+        marker.propagate_unions();
+        Ok(marker.liveness)
+    }
+
+    /// Runs the algorithm over precomputed walk-once summaries instead of
+    /// re-walking ASTs: replays each reachable function's [`LiveStep`]s in
+    /// the sequential scan order, resolves configuration-gated steps
+    /// (down-casts, `sizeof`) at replay time, and expands
+    /// `MarkAllContainedMembers` and the union fixpoint over the
+    /// summaries' precomputed containment closures. The result is
+    /// bit-identical to [`DeadMemberAnalysis::run`] on the same call
+    /// graph.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the [`TypeError`]s recorded in the summaries of reachable
+    /// functions, in the order the walking scan would hit them.
+    pub fn run_summary(
+        &self,
+        summary: &ProgramSummary,
+        callgraph: &CallGraph,
+    ) -> Result<Liveness, TypeError> {
+        let library: HashSet<ClassId> = self
+            .config
+            .library_classes
+            .iter()
+            .filter_map(|n| self.program.class_by_name(n))
+            .collect();
+
+        let mut marker = SummaryMarker {
+            program: self.program,
+            summary,
+            liveness: Liveness::with_member_index(summary.member_index().clone()),
+            visited: HashSet::new(),
+            config: &self.config,
+        };
+
+        // Library members are unclassifiable from the start.
+        for (cid, class) in self.program.classes() {
+            if library.contains(&cid) {
+                for idx in 0..class.members.len() {
+                    marker
+                        .liveness
+                        .mark_unclassifiable(MemberRef::new(cid, idx));
+                }
             }
+        }
+
+        // Global initializers run unconditionally before `main`.
+        marker.replay(summary.globals()?);
+
+        // Every reachable function, in id order — the sequential scan.
+        for func in callgraph.reachable() {
+            marker.replay(summary.function(func)?);
         }
 
         marker.propagate_unions();
@@ -321,47 +397,110 @@ impl Marker<'_, '_> {
         }
     }
 
-    /// Classifies a cast as unsafe per §3: down-casts (unless the user
-    /// asserted they are safe), `reinterpret_cast`, casts between unrelated
-    /// class pointers, and class-pointer ↔ arithmetic casts. Up-casts,
-    /// identity casts, arithmetic conversions, `dynamic_cast` (checked),
-    /// `const_cast`, and casts to/from `void*` are safe.
+    /// Classifies a cast as unsafe per §3, resolving the shared static
+    /// classification ([`classify_cast`]) against this run's down-cast
+    /// policy.
     fn cast_is_unsafe(&self, ev: &CastEvent) -> bool {
-        match ev.style {
-            CastStyle::Dynamic | CastStyle::Const => return false,
-            CastStyle::Reinterpret => return true,
-            CastStyle::CStyle | CastStyle::Static => {}
+        match classify_cast(self.program, ev) {
+            CastSafety::Safe => false,
+            CastSafety::Unsafe => true,
+            CastSafety::UnsafeDowncast => !self.config.assume_safe_downcasts,
         }
-        let target = strip_indirections(&ev.target);
-        let operand = strip_indirections(&ev.operand);
-        // Arithmetic conversions are safe.
-        if target.is_arithmetic() && operand.is_arithmetic() {
-            return false;
+    }
+}
+
+/// The summary engine's counterpart of [`Marker`]: the same liveness
+/// rules, driven by recorded [`LiveStep`]s instead of AST events, with
+/// `MarkAllContainedMembers` flattened over the precomputed containment
+/// closures. The flat expansion marks exactly the classes the recursive
+/// walk would: any visited class already has its entire closure visited,
+/// so each call marks `closure(class)` minus the previously visited set
+/// either way.
+struct SummaryMarker<'p, 's, 'c> {
+    program: &'p Program,
+    summary: &'s ProgramSummary,
+    liveness: Liveness,
+    visited: HashSet<ClassId>,
+    config: &'c AnalysisConfig,
+}
+
+impl SummaryMarker<'_, '_, '_> {
+    /// Replays one function's liveness facts in body order.
+    fn replay(&mut self, s: &FnSummary) {
+        for step in &s.live_steps {
+            match step {
+                LiveStep::Access { member, kind } => {
+                    let reason = match kind {
+                        MemberAccessKind::Read => LiveReason::Read,
+                        MemberAccessKind::AddressTaken => LiveReason::AddressTaken,
+                        MemberAccessKind::PointerToMember => LiveReason::PointerToMember,
+                        MemberAccessKind::VolatileWrite => LiveReason::VolatileWrite,
+                    };
+                    self.liveness.mark_live(*member, reason);
+                }
+                LiveStep::MarkAll { class, cause } => {
+                    // Configuration gates resolve here, so one summary
+                    // serves every configuration.
+                    let reason = match cause {
+                        MarkAllCause::UnsafeCast => LiveReason::UnsafeCast,
+                        MarkAllCause::UnsafeDowncast => {
+                            if self.config.assume_safe_downcasts {
+                                continue;
+                            }
+                            LiveReason::UnsafeCast
+                        }
+                        MarkAllCause::Sizeof => {
+                            if self.config.sizeof_policy == SizeofPolicy::Ignore {
+                                continue;
+                            }
+                            LiveReason::Sizeof
+                        }
+                    };
+                    self.mark_all_contained(*class, reason);
+                }
+            }
         }
-        // `void*` is the universal currency of the allocation interface.
-        if matches!(target.kind, TypeKind::Void) || matches!(operand.kind, TypeKind::Void) {
-            return false;
+    }
+
+    /// `MarkAllContainedMembers` as a flat sweep of the precomputed
+    /// closure.
+    fn mark_all_contained(&mut self, class: ClassId, reason: LiveReason) {
+        for &c in self.summary.contained_classes(class) {
+            if !self.visited.insert(c) {
+                continue;
+            }
+            for idx in 0..self.program.class(c).members.len() {
+                self.liveness.mark_live(MemberRef::new(c, idx), reason);
+            }
         }
-        let (Some(tname), Some(oname)) = (target.named(), operand.named()) else {
-            // Class ↔ arithmetic, or function-pointer reinterpretation.
-            return true;
-        };
-        let (Some(tid), Some(oid)) = (
-            self.program.class_by_name(tname),
-            self.program.class_by_name(oname),
-        ) else {
-            return true;
-        };
-        if tid == oid {
-            return false;
+    }
+
+    /// Whether any member contained in `class` is currently live.
+    fn any_contained_live(&self, class: ClassId) -> bool {
+        self.summary.contained_classes(class).iter().any(|&c| {
+            let n = self.program.class(c).members.len();
+            (0..n).any(|idx| self.liveness.is_live(MemberRef::new(c, idx)))
+        })
+    }
+
+    /// Union propagation (Figure 2, lines 9–11) to a fixpoint, iterating
+    /// classes in the same order as [`Marker::propagate_unions`].
+    fn propagate_unions(&mut self) {
+        loop {
+            let mut changed = false;
+            for (cid, class) in self.program.classes() {
+                if class.kind != ClassKind::Union {
+                    continue;
+                }
+                if self.any_contained_live(cid) && !self.visited.contains(&cid) {
+                    self.mark_all_contained(cid, LiveReason::UnionPropagation);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
         }
-        if self.program.derives_from(oid, tid) {
-            return false; // up-cast
-        }
-        if self.program.derives_from(tid, oid) {
-            return !self.config.assume_safe_downcasts; // down-cast
-        }
-        true // unrelated classes
     }
 }
 
@@ -427,15 +566,6 @@ impl EventVisitor for Sink<'_, '_, '_> {
                 self.marker.mark_all_contained(id, LiveReason::Sizeof);
             }
         }
-    }
-}
-
-/// Strips pointers, references and arrays to reach the underlying type.
-fn strip_indirections(ty: &Type) -> &Type {
-    match &ty.kind {
-        TypeKind::Pointer(inner) | TypeKind::Reference(inner) => strip_indirections(inner),
-        TypeKind::Array(inner, _) => strip_indirections(inner),
-        _ => ty,
     }
 }
 

@@ -31,5 +31,5 @@ pub mod report;
 pub use analysis::{AnalysisConfig, DeadMemberAnalysis, SizeofPolicy};
 pub use eliminate::{eliminate, Elimination, KeepReason};
 pub use liveness::{LiveReason, Liveness};
-pub use pipeline::{AnalysisPipeline, PipelineError};
+pub use pipeline::{AnalysisPipeline, Engine, PipelineError};
 pub use report::{ClassReport, Report};

@@ -1,6 +1,6 @@
 //! Liveness classification results.
 
-use ddm_hierarchy::{MemberRef, Program};
+use ddm_hierarchy::{MemberBitSet, MemberIndex, MemberRef, Program};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -57,11 +57,35 @@ impl fmt::Display for LiveReason {
 /// liveness.mark_live(m, LiveReason::Read);
 /// assert_eq!(liveness.reason(m), Some(LiveReason::Read));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Liveness {
     live: BTreeMap<MemberRef, LiveReason>,
     unclassifiable: std::collections::BTreeSet<MemberRef>,
+    /// Optional dense accelerator (see [`Liveness::with_member_index`]).
+    /// Kept in sync with `live`; not part of the classification itself.
+    dense: Option<DenseLive>,
 }
+
+/// The dense program-wide live set: a bitset keyed by the member index,
+/// answering `is_live`/`mark_live` membership in O(1) so the hot marking
+/// path skips the ordered map for repeat accesses.
+#[derive(Debug, Clone)]
+struct DenseLive {
+    index: MemberIndex,
+    bits: MemberBitSet,
+}
+
+/// Equality is over the *classification* — live members with reasons and
+/// the unclassifiable set. The dense accelerator is an implementation
+/// detail and never observable: a map-backed and an index-backed
+/// `Liveness` that classify identically compare equal.
+impl PartialEq for Liveness {
+    fn eq(&self, other: &Self) -> bool {
+        self.live == other.live && self.unclassifiable == other.unclassifiable
+    }
+}
+
+impl Eq for Liveness {}
 
 impl Liveness {
     /// Creates an empty classification (everything dead), the algorithm's
@@ -70,9 +94,33 @@ impl Liveness {
         Liveness::default()
     }
 
+    /// Creates an empty classification backed by a dense program-wide
+    /// member bitset: membership tests and repeat marks become single bit
+    /// operations, and only first marks touch the ordered reason map
+    /// (which is retained for first-reason-wins reporting).
+    pub fn with_member_index(index: MemberIndex) -> Self {
+        Liveness {
+            live: BTreeMap::new(),
+            unclassifiable: std::collections::BTreeSet::new(),
+            dense: Some(DenseLive {
+                bits: MemberBitSet::with_capacity(index.len()),
+                index,
+            }),
+        }
+    }
+
     /// Marks `member` live for `reason` (keeps the first reason).
     /// Returns true if the member was previously dead.
     pub fn mark_live(&mut self, member: MemberRef, reason: LiveReason) -> bool {
+        if let Some(d) = &mut self.dense {
+            if let Some(id) = d.index.id_of(member) {
+                if !d.bits.insert(id) {
+                    return false;
+                }
+                self.live.insert(member, reason);
+                return true;
+            }
+        }
         match self.live.entry(member) {
             std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert(reason);
@@ -112,12 +160,17 @@ impl Liveness {
 
     /// Whether `member` was marked live.
     pub fn is_live(&self, member: MemberRef) -> bool {
+        if let Some(d) = &self.dense {
+            if let Some(id) = d.index.id_of(member) {
+                return d.bits.contains(id);
+            }
+        }
         self.live.contains_key(&member)
     }
 
     /// Whether `member` is dead (not live and classifiable).
     pub fn is_dead(&self, member: MemberRef) -> bool {
-        !self.live.contains_key(&member) && !self.unclassifiable.contains(&member)
+        !self.is_live(member) && !self.unclassifiable.contains(&member)
     }
 
     /// Whether `member` belongs to a library class (unclassifiable).
@@ -261,6 +314,44 @@ mod tests {
         c.mark_unclassifiable(mref(0, 1));
         assert!(a.merge(&c));
         assert!(!a.merge(&c));
+    }
+
+    #[test]
+    fn dense_backed_liveness_is_indistinguishable_from_map_backed() {
+        let tu = ddm_cppfront::parse(
+            "class A { public: int a0; int a1; };\n\
+             class B { public: int b0; };\n\
+             int main() { return 0; }",
+        )
+        .unwrap();
+        let program = Program::build(&tu).unwrap();
+        let mut dense = Liveness::with_member_index(MemberIndex::new(&program));
+        let mut map = Liveness::new();
+        for l in [&mut dense, &mut map] {
+            assert!(l.mark_live(mref(0, 0), LiveReason::Read));
+            assert!(!l.mark_live(mref(0, 0), LiveReason::Sizeof), "first wins");
+            assert!(l.mark_live(mref(1, 0), LiveReason::AddressTaken));
+            l.mark_unclassifiable(mref(0, 1));
+            // A ref outside the indexed program falls back to the map.
+            assert!(l.mark_live(mref(9, 9), LiveReason::UnsafeCast));
+            assert!(l.is_live(mref(9, 9)));
+        }
+        assert_eq!(dense, map, "accelerator must not be observable");
+        assert_eq!(dense.reason(mref(0, 0)), Some(LiveReason::Read));
+        assert!(dense.is_live(mref(0, 0)));
+        assert!(dense.is_dead(mref(0, 1)) == map.is_dead(mref(0, 1)));
+        assert_eq!(dense.live_count(), map.live_count());
+        assert_eq!(
+            dense.live_members().collect::<Vec<_>>(),
+            map.live_members().collect::<Vec<_>>()
+        );
+        assert_eq!(dense.dead_members(&program), map.dead_members(&program));
+        // Merging into a dense-backed set keeps both views in sync.
+        let mut delta = Liveness::new();
+        delta.mark_live(mref(0, 1), LiveReason::VolatileWrite);
+        assert!(dense.merge(&delta));
+        assert!(dense.is_live(mref(0, 1)));
+        assert!(!dense.merge(&delta));
     }
 
     #[test]

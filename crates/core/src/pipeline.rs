@@ -6,10 +6,39 @@ use crate::liveness::Liveness;
 use crate::report::Report;
 use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
 use ddm_cppfront::{parse, ParseError};
-use ddm_hierarchy::{used_classes, ClassId, MemberLookup, Program, SemaError, TypeError};
+use ddm_hierarchy::{
+    used_classes, ClassId, MemberLookup, Program, ProgramSummary, SemaError, TypeError,
+};
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
+
+/// Which analysis engine drives the pipeline.
+///
+/// Both engines produce bit-identical results (liveness, reasons,
+/// call graph, used classes, and rendered report); they differ only in
+/// how often function bodies are traversed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// The original engine: the call-graph fixpoint re-walks every
+    /// reachable function AST each round, and the liveness scan walks
+    /// them all again. Retained as the differential-testing reference.
+    Walk,
+    /// The walk-once engine (default): each function body is traversed
+    /// exactly once to extract a summary; call-graph construction and the
+    /// liveness scan then propagate over summaries.
+    #[default]
+    Summary,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Engine::Walk => "walk",
+            Engine::Summary => "summary",
+        })
+    }
+}
 
 /// Any error the pipeline can produce.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,6 +111,7 @@ pub struct AnalysisPipeline {
     liveness: Liveness,
     used: HashSet<ClassId>,
     config: AnalysisConfig,
+    engine: Engine,
 }
 
 impl AnalysisPipeline {
@@ -123,23 +153,51 @@ impl AnalysisPipeline {
         algorithm: Algorithm,
         jobs: usize,
     ) -> Result<AnalysisPipeline, PipelineError> {
+        Self::with_config_engine(source, config, algorithm, jobs, Engine::default())
+    }
+
+    /// Runs the full pipeline on an explicit [`Engine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] for parse, semantic, or type failures.
+    pub fn with_config_engine(
+        source: &str,
+        config: AnalysisConfig,
+        algorithm: Algorithm,
+        jobs: usize,
+        engine: Engine,
+    ) -> Result<AnalysisPipeline, PipelineError> {
         let tu = parse(source)?;
         let program = Program::build(&tu)?;
-        let (callgraph, liveness, used) = {
-            let lookup = MemberLookup::new(&program);
-            let cg_options = CallGraphOptions {
-                algorithm,
-                library_classes: config
-                    .library_classes
-                    .iter()
-                    .filter_map(|n| program.class_by_name(n))
-                    .collect(),
-            };
-            let callgraph = CallGraph::build(&program, &lookup, &cg_options)?;
-            let liveness =
-                DeadMemberAnalysis::new(&program, config.clone()).run_jobs(&callgraph, jobs)?;
-            let used = used_classes(&program, &lookup)?;
-            (callgraph, liveness, used)
+        let cg_options = CallGraphOptions {
+            algorithm,
+            library_classes: config
+                .library_classes
+                .iter()
+                .filter_map(|n| program.class_by_name(n))
+                .collect(),
+        };
+        let (callgraph, liveness, used) = match engine {
+            Engine::Walk => {
+                let lookup = MemberLookup::new(&program);
+                let callgraph = CallGraph::build(&program, &lookup, &cg_options)?;
+                let liveness =
+                    DeadMemberAnalysis::new(&program, config.clone()).run_jobs(&callgraph, jobs)?;
+                let used = used_classes(&program, &lookup)?;
+                (callgraph, liveness, used)
+            }
+            Engine::Summary => {
+                // Walk once: extract summaries (sharded across `jobs`
+                // workers), then every downstream phase propagates over
+                // them without touching an AST again.
+                let summary = ProgramSummary::build(&program, algorithm == Algorithm::Pta, jobs);
+                let callgraph = CallGraph::build_from_summary(&program, &summary, &cg_options)?;
+                let liveness = DeadMemberAnalysis::new(&program, config.clone())
+                    .run_summary(&summary, &callgraph)?;
+                let used = summary.used_classes(&program)?;
+                (callgraph, liveness, used)
+            }
         };
         Ok(AnalysisPipeline {
             tu,
@@ -148,6 +206,7 @@ impl AnalysisPipeline {
             liveness,
             used,
             config,
+            engine,
         })
     }
 
@@ -227,6 +286,11 @@ impl AnalysisPipeline {
     /// The configuration the run used.
     pub fn config(&self) -> &AnalysisConfig {
         &self.config
+    }
+
+    /// The engine the run used.
+    pub fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Builds the report.

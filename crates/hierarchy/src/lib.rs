@@ -28,7 +28,9 @@ pub mod ids;
 pub mod layout;
 pub mod lookup;
 pub mod model;
+pub mod pta;
 pub mod subobject;
+pub mod summary;
 pub mod typewalk;
 pub mod used;
 
@@ -40,9 +42,13 @@ pub use model::{
     SemaErrorKind,
 };
 pub use subobject::{Subobject, SubobjectId, SubobjectTree};
+pub use summary::{
+    classify_cast, strip_indirections, CastSafety, CgStep, DeleteSite, FnSummary, LiveStep,
+    MarkAllCause, MemberAccessKind, MemberBitSet, MemberIndex, ProgramSummary, VirtualSite,
+};
 pub use typewalk::{
-    resolve_ctor, walk_function, walk_globals, Builtin, CallEvent, CallTarget, CastEvent,
-    DeleteEvent, EventVisitor, InstantiationEvent, InstantiationKind, MemberAccessEvent, TypeError,
-    TypeErrorKind,
+    body_walk_count, resolve_ctor, walk_function, walk_globals, Builtin, CallEvent, CallTarget,
+    CastEvent, DeleteEvent, EventVisitor, InstantiationEvent, InstantiationKind, MemberAccessEvent,
+    TypeError, TypeErrorKind,
 };
 pub use used::{data_members_in_used_classes, used_classes};

@@ -23,7 +23,8 @@
 use ddm_cppfront::ast::{
     Block, Expr, ExprKind, LocalInit, Stmt, StmtKind, Type, TypeKind, UnaryOp,
 };
-use ddm_hierarchy::{ClassId, FuncId, Program};
+use crate::ids::{ClassId, FuncId};
+use crate::model::Program;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Everything learned about one function's locals in a single pass.

@@ -22,6 +22,17 @@ use ddm_cppfront::Span;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of body traversals ([`walk_function`] and
+/// [`walk_globals`] invocations), for asserting the summary engine's
+/// walk-once property in tests and benchmarks.
+static BODY_WALKS: AtomicU64 = AtomicU64::new(0);
+
+/// The number of body traversals performed so far by this process.
+pub fn body_walk_count() -> u64 {
+    BODY_WALKS.load(Ordering::Relaxed)
+}
 
 /// Built-in functions the runtime provides. Calls to these are not user
 /// code; `free` gets the paper's special treatment (its argument is not a
@@ -274,6 +285,7 @@ pub fn walk_function(
     func: FuncId,
     visitor: &mut dyn EventVisitor,
 ) -> Result<(), TypeError> {
+    BODY_WALKS.fetch_add(1, Ordering::Relaxed);
     let info = program.function(func);
     let mut walker = Walker {
         program,
@@ -331,6 +343,7 @@ pub fn walk_globals(
     lookup: &MemberLookup<'_>,
     visitor: &mut dyn EventVisitor,
 ) -> Result<(), TypeError> {
+    BODY_WALKS.fetch_add(1, Ordering::Relaxed);
     let mut walker = Walker {
         program,
         lookup,

@@ -5,6 +5,8 @@
 //!
 //! options:
 //!   --callgraph <rta|pta|cha|everything>   call-graph builder (default rta)
+//!   --engine <summary|walk>            analysis engine: walk-once summaries
+//!                                      (default) or the re-walking reference
 //!   --jobs <N>                         shard the liveness scan across N worker
 //!                                      threads (deterministic; default 1)
 //!   --library <Class,Class,...>        classes whose source is unavailable (§3.3)
@@ -16,7 +18,7 @@
 //!   --layout                           print the object layout of every class
 //! ```
 
-use dead_data_members::analysis::{eliminate, AnalysisConfig, AnalysisPipeline, SizeofPolicy};
+use dead_data_members::analysis::{eliminate, AnalysisConfig, AnalysisPipeline, Engine, SizeofPolicy};
 use dead_data_members::callgraph::Algorithm;
 use dead_data_members::dynamic::{profile_trace, Interpreter, RunConfig};
 use std::process::ExitCode;
@@ -24,6 +26,7 @@ use std::process::ExitCode;
 struct Options {
     file: String,
     algorithm: Algorithm,
+    engine: Engine,
     jobs: usize,
     library: Vec<String>,
     sizeof_conservative: bool,
@@ -39,6 +42,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         file: String::new(),
         algorithm: Algorithm::Rta,
+        engine: Engine::default(),
         jobs: 1,
         library: Vec::new(),
         sizeof_conservative: false,
@@ -58,6 +62,14 @@ fn parse_args() -> Result<Options, String> {
                     "cha" => Algorithm::Cha,
                     "everything" => Algorithm::Everything,
                     other => return Err(format!("unknown call-graph builder `{other}`")),
+                };
+            }
+            "--engine" => {
+                let v = args.next().ok_or("--engine needs a value")?;
+                opts.engine = match v.as_str() {
+                    "summary" => Engine::Summary,
+                    "walk" => Engine::Walk,
+                    other => return Err(format!("unknown engine `{other}`")),
                 };
             }
             "--jobs" => {
@@ -103,7 +115,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!("usage: ddm <file.cpp> [--callgraph rta|pta|cha|everything] [--library A,B]");
-            eprintln!("           [--jobs N] [--sizeof-conservative] [--unsafe-downcasts]");
+            eprintln!("           [--engine summary|walk] [--jobs N] [--sizeof-conservative] [--unsafe-downcasts]");
             eprintln!("           [--run] [--profile] [--layout] [--eliminate out.cpp]");
             return ExitCode::from(2);
         }
@@ -126,8 +138,13 @@ fn main() -> ExitCode {
         assume_safe_downcasts: !opts.unsafe_downcasts,
         library_classes: opts.library.iter().cloned().collect(),
     };
-    let pipeline = match AnalysisPipeline::with_config_jobs(&source, config, opts.algorithm, opts.jobs)
-    {
+    let pipeline = match AnalysisPipeline::with_config_engine(
+        &source,
+        config,
+        opts.algorithm,
+        opts.jobs,
+        opts.engine,
+    ) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");

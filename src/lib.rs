@@ -48,9 +48,13 @@ pub use ddm_hierarchy as hierarchy;
 pub mod prelude {
     pub use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
     pub use ddm_core::{
-        AnalysisConfig, AnalysisPipeline, DeadMemberAnalysis, Liveness, Report, SizeofPolicy,
+        AnalysisConfig, AnalysisPipeline, DeadMemberAnalysis, Engine, Liveness, Report,
+        SizeofPolicy,
     };
     pub use ddm_cppfront::{parse, TranslationUnit};
     pub use ddm_dynamic::{HeapProfile, Interpreter, RunConfig};
-    pub use ddm_hierarchy::{ClassId, FuncId, LayoutEngine, MemberLookup, MemberRef, Program};
+    pub use ddm_hierarchy::{
+        body_walk_count, ClassId, FuncId, LayoutEngine, MemberLookup, MemberRef, Program,
+        ProgramSummary,
+    };
 }

@@ -25,6 +25,26 @@ cargo test --release --test walk_once
 cargo run --release --bin ddm -- crates/benchmarks/programs/richards.cpp --engine summary --jobs 8 > /dev/null
 cargo run --release --bin ddm -- crates/benchmarks/programs/richards.cpp --engine walk --jobs 8 > /dev/null
 
+echo "== telemetry: deterministic counters and provenance =="
+cargo test --release --test telemetry_determinism
+cargo test --release --test provenance_soundness
+cargo test --release --test cli_smoke
+
+echo "== telemetry: chrome trace export (--jobs 8, one lane per worker) =="
+cargo run --release --bin ddm -- crates/benchmarks/programs/deltablue.cpp \
+    --jobs 8 --trace-out /tmp/ddm_ci_trace.json > /dev/null
+test -s /tmp/ddm_ci_trace.json
+grep -q '"worker-8"' /tmp/ddm_ci_trace.json
+rm -f /tmp/ddm_ci_trace.json
+
+echo "== telemetry: --explain witness chains =="
+# A known-live member: the chain must reach the livening access from main.
+cargo run --release --bin ddm -- crates/benchmarks/programs/deltablue.cpp \
+    --explain Variable::value | grep -q 'call chain: main'
+# A known-dead member: the verdict must be explicit.
+cargo run --release --bin ddm -- crates/benchmarks/programs/idl.cpp \
+    --explain Emitter::last_line | grep -q 'Emitter::last_line: DEAD'
+
 echo "== bench suite smoke (non-gating on time) =="
 cargo run --release -p ddm-bench --bin bench_suite -- --json --samples 3 > /dev/null
 test -s BENCH_suite.json

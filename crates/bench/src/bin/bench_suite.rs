@@ -18,8 +18,9 @@
 
 use ddm_bench::timing;
 use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
-use ddm_core::{AnalysisConfig, DeadMemberAnalysis, SizeofPolicy};
+use ddm_core::{AnalysisConfig, AnalysisPipeline, DeadMemberAnalysis, Engine, SizeofPolicy};
 use ddm_hierarchy::{MemberLookup, Program, ProgramSummary};
+use ddm_telemetry::{Counters, Telemetry};
 use std::time::Duration;
 
 struct Cell {
@@ -38,6 +39,24 @@ struct Row {
     functions: usize,
     // [engine][jobs-index]: engines are [walk, summary], jobs are [1, 8].
     cells: [[Cell; 2]; 2],
+    /// Deterministic analysis counters — identical for every engine and
+    /// jobs value, so one capture per program is exact, not sampled.
+    counters: Counters,
+}
+
+/// The deterministic counters of one end-to-end analysis of `source`.
+fn capture_counters(source: &str) -> Counters {
+    let telemetry = Telemetry::enabled();
+    AnalysisPipeline::with_config_telemetry(
+        source,
+        suite_config(),
+        Algorithm::Rta,
+        1,
+        Engine::Summary,
+        &telemetry,
+    )
+    .expect("suite program analyses cleanly");
+    telemetry.counters()
 }
 
 const JOBS: [usize; 2] = [1, 8];
@@ -132,6 +151,14 @@ fn render_json(rows: &[Row], samples: usize) -> String {
                 out.push_str(", ");
             }
         }
+        out.push_str("}, \"counters\": {");
+        let counter_rows = row.counters.rows();
+        for (k, (key, value)) in counter_rows.iter().enumerate() {
+            out.push_str(&format!("\"{key}\": {value}"));
+            if k + 1 < counter_rows.len() {
+                out.push_str(", ");
+            }
+        }
         out.push_str("}}");
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -173,6 +200,7 @@ fn main() {
             name: b.name,
             functions: program.functions().count(),
             cells,
+            counters: capture_counters(b.source),
         });
     }
 

@@ -28,6 +28,7 @@ use ddm_hierarchy::{
     EventVisitor, FnSummary, FuncId, InstantiationEvent, MemberLookup, Program, ProgramSummary,
     TypeError,
 };
+use ddm_telemetry::{Telemetry, LANE_MAIN};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Which call-graph construction algorithm to run.
@@ -107,10 +108,25 @@ impl CallGraph {
         lookup: &MemberLookup<'_>,
         options: &CallGraphOptions,
     ) -> Result<CallGraph, TypeError> {
+        Self::build_with(program, lookup, options, &Telemetry::disabled())
+    }
+
+    /// [`CallGraph::build`] with telemetry: each fixpoint round is
+    /// spanned, and the round count lands in the execution stats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TypeError`]s from walking reachable bodies.
+    pub fn build_with(
+        program: &Program,
+        lookup: &MemberLookup<'_>,
+        options: &CallGraphOptions,
+        telemetry: &Telemetry,
+    ) -> Result<CallGraph, TypeError> {
         match options.algorithm {
             Algorithm::Everything => Ok(Self::build_everything(program)),
             Algorithm::Cha | Algorithm::Rta | Algorithm::Pta => {
-                Self::build_propagating(program, lookup, options)
+                Self::build_propagating(program, lookup, options, telemetry)
             }
         }
     }
@@ -133,6 +149,7 @@ impl CallGraph {
         program: &Program,
         lookup: &MemberLookup<'_>,
         options: &CallGraphOptions,
+        telemetry: &Telemetry,
     ) -> Result<CallGraph, TypeError> {
         let mut state = Builder {
             program,
@@ -161,6 +178,7 @@ impl CallGraph {
         // Iterate to a fixpoint: walking a function may make more functions
         // reachable or more classes instantiated, which in turn widens
         // virtual dispatch at call sites inside already-walked functions.
+        let mut rounds: u64 = 0;
         loop {
             let before = (
                 state.reachable.len(),
@@ -168,6 +186,10 @@ impl CallGraph {
                 state.edge_total(),
             );
             let work: Vec<FuncId> = state.reachable.iter().copied().collect();
+            let round_span = telemetry.span(LANE_MAIN, || {
+                format!("callgraph round {rounds} ({} fns)", work.len())
+            });
+            rounds += 1;
             for fid in work {
                 let mut visitor = EventSink {
                     caller: Some(fid),
@@ -176,6 +198,7 @@ impl CallGraph {
                 walk_function(program, lookup, fid, &mut visitor)?;
             }
             state.resolve_function_pointer_calls();
+            drop(round_span);
             if (
                 state.reachable.len(),
                 state.instantiated.len(),
@@ -185,6 +208,7 @@ impl CallGraph {
                 break;
             }
         }
+        telemetry.update_stats(|s| s.callgraph_rounds = rounds);
 
         Ok(CallGraph {
             algorithm: options.algorithm,
@@ -217,6 +241,23 @@ impl CallGraph {
         summary: &ProgramSummary,
         options: &CallGraphOptions,
     ) -> Result<CallGraph, TypeError> {
+        Self::build_from_summary_with(program, summary, options, &Telemetry::disabled())
+    }
+
+    /// [`CallGraph::build_from_summary`] with telemetry: rounds are
+    /// spanned, and replay / worklist activity lands in the execution
+    /// stats.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the [`TypeError`]s recorded in the summaries of reachable
+    /// functions, in the same order the walking builder would hit them.
+    pub fn build_from_summary_with(
+        program: &Program,
+        summary: &ProgramSummary,
+        options: &CallGraphOptions,
+        telemetry: &Telemetry,
+    ) -> Result<CallGraph, TypeError> {
         if options.algorithm == Algorithm::Everything {
             return Ok(Self::build_everything(program));
         }
@@ -230,6 +271,8 @@ impl CallGraph {
             pending_fp_calls: BTreeSet::new(),
             pending_dispatch: HashMap::new(),
             ready: HashMap::new(),
+            replays: 0,
+            worklist_pushes: 0,
         };
 
         // Global initializers run once, before the sweep — their dispatch
@@ -244,6 +287,7 @@ impl CallGraph {
         // visits only drain the edges that instantiations have readied
         // for it — the work a re-walk would discover, without the walk.
         let mut replayed = vec![false; program.function_count()];
+        let mut rounds: u64 = 0;
         loop {
             let before = (
                 state.reachable.len(),
@@ -251,6 +295,10 @@ impl CallGraph {
                 state.edge_total(),
             );
             let work: Vec<FuncId> = state.reachable.iter().copied().collect();
+            let round_span = telemetry.span(LANE_MAIN, || {
+                format!("callgraph replay round {rounds} ({} fns)", work.len())
+            });
+            rounds += 1;
             for fid in work {
                 if !replayed[fid.index()] {
                     replayed[fid.index()] = true;
@@ -262,6 +310,7 @@ impl CallGraph {
                 }
             }
             state.resolve_function_pointer_calls();
+            drop(round_span);
             if (
                 state.reachable.len(),
                 state.instantiated.len(),
@@ -275,6 +324,11 @@ impl CallGraph {
             state.ready.is_empty(),
             "every readied widening is drained before the fixpoint settles"
         );
+        telemetry.update_stats(|s| {
+            s.callgraph_rounds = rounds;
+            s.summary_replays += state.replays;
+            s.worklist_pushes += state.worklist_pushes;
+        });
 
         Ok(CallGraph {
             algorithm: options.algorithm,
@@ -600,6 +654,10 @@ struct SummaryReplayer<'p> {
     pending_dispatch: HashMap<ClassId, Vec<(FuncId, FuncId)>>,
     /// Owner function → widened edges to add at its next round slot.
     ready: HashMap<FuncId, BTreeSet<FuncId>>,
+    /// Observational: full [`FnSummary`] replays performed.
+    replays: u64,
+    /// Observational: candidates parked in `pending_dispatch`.
+    worklist_pushes: u64,
 }
 
 impl SummaryReplayer<'_> {
@@ -675,6 +733,7 @@ impl SummaryReplayer<'_> {
             } else if register {
                 if let Some(owner) = caller {
                     self.pending_dispatch.entry(c).or_default().push((owner, f));
+                    self.worklist_pushes += 1;
                 }
             }
         }
@@ -683,6 +742,7 @@ impl SummaryReplayer<'_> {
     /// Replays one summary's call-graph steps in body order, mirroring
     /// [`EventSink`]'s handling of the corresponding events.
     fn replay(&mut self, caller: Option<FuncId>, summary: &FnSummary, register: bool) {
+        self.replays += 1;
         for step in &summary.cg_steps {
             match step {
                 CgStep::Call(f) => self.add_edge(caller, *f),

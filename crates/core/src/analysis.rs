@@ -15,16 +15,29 @@
 //! [`ddm_hierarchy::walk_function`]; this module supplies the liveness
 //! rules and the `MarkAllContainedMembers` closure.
 
-use crate::liveness::{LiveReason, Liveness};
+use crate::liveness::{LiveReason, Liveness, Origin};
 use ddm_callgraph::CallGraph;
 use ddm_cppfront::ast::{ClassKind, Type};
 use ddm_hierarchy::{
     by_value_class, classify_cast, strip_indirections, walk_function, walk_globals, CastEvent,
-    CastSafety, ClassId, EventVisitor, FnSummary, LiveStep, MarkAllCause, MemberAccessEvent,
-    MemberAccessKind, MemberLookup, MemberRef, Program, ProgramSummary, TypeError,
+    CastSafety, ClassId, EventVisitor, FnSummary, FuncId, LiveStep, MarkAllCause,
+    MemberAccessEvent, MemberAccessKind, MemberLookup, MemberRef, Program, ProgramSummary,
+    TypeError,
 };
+use ddm_telemetry::{Counters, Telemetry, LANE_MAIN};
 use std::collections::HashSet;
 use std::sync::mpsc;
+
+/// Minimum reachable-function count before
+/// [`DeadMemberAnalysis::run_jobs`] shards the scan across worker
+/// threads. Below it, per-round thread and channel traffic exceeds the
+/// microsecond-scale scan itself — `BENCH_suite.json` showed every suite
+/// program (16–85 reachable functions) running 2–8× *slower* at
+/// `--jobs 8` than sequentially. Results are bit-identical on both
+/// paths, so the cut is purely an execution-shape decision; like the
+/// extraction threshold it is a fixed count, not CPU-derived, to keep
+/// runs reproducible across machines.
+pub const SEQUENTIAL_SCAN_THRESHOLD: usize = 256;
 
 /// How uses of `sizeof` are treated (§3.2).
 ///
@@ -101,19 +114,56 @@ impl<'p> DeadMemberAnalysis<'p> {
     ///
     /// Propagates [`TypeError`]s from walking reachable function bodies.
     pub fn run(&self, callgraph: &CallGraph) -> Result<Liveness, TypeError> {
+        self.run_with(callgraph, &Telemetry::disabled())
+    }
+
+    /// [`DeadMemberAnalysis::run`] with telemetry: the scan and the union
+    /// post-pass are spanned, and the scan's deterministic counters are
+    /// recorded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TypeError`]s from walking reachable function bodies.
+    pub fn run_with(
+        &self,
+        callgraph: &CallGraph,
+        telemetry: &Telemetry,
+    ) -> Result<Liveness, TypeError> {
+        let scan_span = telemetry.span(LANE_MAIN, || {
+            format!("liveness scan ({} fns)", callgraph.reachable_count())
+        });
         let mut marker = self.base_marker()?;
 
         // Every statement of every function reachable in the call graph.
         let lookup = MemberLookup::new(self.program);
         for func in callgraph.reachable() {
+            marker.current = Some(func);
             let mut sink = Sink {
                 marker: &mut marker,
             };
             walk_function(self.program, &lookup, func, &mut sink)?;
         }
+        drop(scan_span);
+        telemetry.update_stats(|s| {
+            s.scan_rounds += 1;
+            s.scan_shards = s.scan_shards.max(1);
+        });
 
-        marker.propagate_unions();
+        Self::union_post_pass(&mut marker, telemetry);
+        telemetry.add_counters(&marker.counters);
         Ok(marker.liveness)
+    }
+
+    /// The shared tail of every engine: the union fixpoint, spanned, with
+    /// the expansion counters derived from the merged visited set (so
+    /// they are independent of how the scan was sharded).
+    fn union_post_pass(marker: &mut Marker<'_, '_>, telemetry: &Telemetry) {
+        let union_span = telemetry.span(LANE_MAIN, || "union post-pass".into());
+        marker.counters.markall_classes_expanded = marker.visited.len() as u64;
+        marker.propagate_unions();
+        marker.counters.union_classes_livened =
+            marker.visited.len() as u64 - marker.counters.markall_classes_expanded;
+        drop(union_span);
     }
 
     /// Runs the algorithm with the reachable-function scan sharded across
@@ -137,7 +187,10 @@ impl<'p> DeadMemberAnalysis<'p> {
     ///   liveness-dependent), and the union-propagation fixpoint then
     ///   runs on the merged state exactly as in the sequential path.
     ///
-    /// `jobs <= 1` falls back to the sequential implementation.
+    /// `jobs <= 1` — and, since the sharded machinery costs more than it
+    /// saves on small programs, any graph with fewer than
+    /// [`SEQUENTIAL_SCAN_THRESHOLD`] reachable functions — falls back to
+    /// the sequential implementation.
     ///
     /// # Errors
     ///
@@ -145,13 +198,51 @@ impl<'p> DeadMemberAnalysis<'p> {
     /// when several shards fail, the error from the earliest function in
     /// scan order is returned, matching the sequential path.
     pub fn run_jobs(&self, callgraph: &CallGraph, jobs: usize) -> Result<Liveness, TypeError> {
-        if jobs <= 1 {
-            return self.run(callgraph);
+        self.run_jobs_with(callgraph, jobs, &Telemetry::disabled())
+    }
+
+    /// [`DeadMemberAnalysis::run_jobs`] with telemetry.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DeadMemberAnalysis::run_jobs`].
+    pub fn run_jobs_with(
+        &self,
+        callgraph: &CallGraph,
+        jobs: usize,
+        telemetry: &Telemetry,
+    ) -> Result<Liveness, TypeError> {
+        if jobs <= 1 || callgraph.reachable_count() < SEQUENTIAL_SCAN_THRESHOLD {
+            telemetry.update_stats(|s| s.scan_sequential_fastpath = jobs > 1);
+            return self.run_with(callgraph, telemetry);
         }
+        self.run_jobs_sharded(callgraph, jobs, telemetry)
+    }
+
+    /// The sharded scan, unconditionally: persistent workers, shard-order
+    /// reduction, re-scan rounds to a fixpoint. [`run_jobs`] routes here
+    /// above the size threshold; tests call it directly to exercise the
+    /// worker machinery (and its counter determinism) on programs of any
+    /// size.
+    ///
+    /// [`run_jobs`]: DeadMemberAnalysis::run_jobs
+    ///
+    /// # Errors
+    ///
+    /// As for [`DeadMemberAnalysis::run_jobs`].
+    pub fn run_jobs_sharded(
+        &self,
+        callgraph: &CallGraph,
+        jobs: usize,
+        telemetry: &Telemetry,
+    ) -> Result<Liveness, TypeError> {
         let mut marker = self.base_marker()?;
         let shards = callgraph.reachable_shards(jobs);
         let program = self.program;
         let config = &self.config;
+        let mut rounds: u64 = 0;
+        let mut merges: u64 = 0;
+        let mut busy: u64 = 0;
 
         // Persistent workers, one per shard, that live across scan
         // rounds: each builds its `MemberLookup` (whose subobject cache
@@ -159,33 +250,44 @@ impl<'p> DeadMemberAnalysis<'p> {
         // and re-scans its slice on command. Channels are unbounded, so
         // neither side ever blocks on a send.
         let scan_result: Result<(), TypeError> = std::thread::scope(|scope| {
-            type Delta = Result<(Liveness, HashSet<ClassId>), TypeError>;
+            type Delta = Result<(Liveness, HashSet<ClassId>, Counters), TypeError>;
             let workers: Vec<(mpsc::Sender<()>, mpsc::Receiver<Delta>)> = shards
                 .iter()
-                .map(|shard| {
+                .enumerate()
+                .map(|(shard_ix, shard)| {
                     let (cmd_tx, cmd_rx) = mpsc::channel::<()>();
                     let (out_tx, out_rx) = mpsc::channel::<Delta>();
                     scope.spawn(move || {
+                        let lane = u32::try_from(shard_ix + 1).unwrap_or(u32::MAX);
                         let lookup = MemberLookup::new(program);
+                        let mut round = 0u64;
                         while cmd_rx.recv().is_ok() {
                             // One round: walk the slice into a private
                             // delta (own liveness, own
                             // MarkAllContainedMembers visited set).
+                            let round_span = telemetry.span(lane, || {
+                                format!("scan round {round} shard {shard_ix} ({} fns)", shard.len())
+                            });
+                            round += 1;
                             let mut worker = Marker {
                                 program,
                                 liveness: Liveness::new(),
                                 visited: HashSet::new(),
                                 config,
+                                current: None,
+                                counters: Counters::default(),
                             };
                             let delta = (|| {
                                 for &func in shard {
+                                    worker.current = Some(func);
                                     let mut sink = Sink {
                                         marker: &mut worker,
                                     };
                                     walk_function(program, &lookup, func, &mut sink)?;
                                 }
-                                Ok((worker.liveness, worker.visited))
+                                Ok((worker.liveness, worker.visited, worker.counters))
                             })();
+                            drop(round_span);
                             if out_tx.send(delta).is_err() {
                                 break;
                             }
@@ -208,10 +310,21 @@ impl<'p> DeadMemberAnalysis<'p> {
                 // matching the sequential path.
                 let mut round_changed = false;
                 for (_, out) in &workers {
-                    let (liveness, visited) = out.recv().expect("analysis worker delta")?;
+                    let (liveness, visited, counters) = out.recv().expect("analysis worker delta")?;
                     round_changed |= marker.liveness.merge(&liveness);
                     marker.visited.extend(visited);
+                    merges += 1;
+                    busy += 1;
+                    if rounds == 0 {
+                        // Marking is a pure function of the body, so
+                        // every round re-counts the identical event
+                        // stream; summing the first round only makes the
+                        // totals round-count- (and therefore jobs-)
+                        // independent, matching the sequential scan.
+                        marker.counters.add(&counters);
+                    }
                 }
+                rounds += 1;
                 if !round_changed {
                     // Dropping `workers` closes the command channels and
                     // the workers exit before the scope joins them.
@@ -220,8 +333,15 @@ impl<'p> DeadMemberAnalysis<'p> {
             }
         });
         scan_result?;
+        telemetry.update_stats(|s| {
+            s.scan_rounds += rounds;
+            s.scan_shards = s.scan_shards.max(shards.len() as u64);
+            s.liveness_merges += merges;
+            s.worker_busy_transitions += busy;
+        });
 
-        marker.propagate_unions();
+        Self::union_post_pass(&mut marker, telemetry);
+        telemetry.add_counters(&marker.counters);
         Ok(marker.liveness)
     }
 
@@ -243,6 +363,25 @@ impl<'p> DeadMemberAnalysis<'p> {
         summary: &ProgramSummary,
         callgraph: &CallGraph,
     ) -> Result<Liveness, TypeError> {
+        self.run_summary_with(summary, callgraph, &Telemetry::disabled())
+    }
+
+    /// [`DeadMemberAnalysis::run_summary`] with telemetry: the replay and
+    /// union post-pass are spanned, and the replay's deterministic
+    /// counters — bit-identical to the walking engine's — are recorded.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DeadMemberAnalysis::run_summary`].
+    pub fn run_summary_with(
+        &self,
+        summary: &ProgramSummary,
+        callgraph: &CallGraph,
+        telemetry: &Telemetry,
+    ) -> Result<Liveness, TypeError> {
+        let scan_span = telemetry.span(LANE_MAIN, || {
+            format!("liveness replay ({} fns)", callgraph.reachable_count())
+        });
         let library: HashSet<ClassId> = self
             .config
             .library_classes
@@ -256,6 +395,7 @@ impl<'p> DeadMemberAnalysis<'p> {
             liveness: Liveness::with_member_index(summary.member_index().clone()),
             visited: HashSet::new(),
             config: &self.config,
+            counters: Counters::default(),
         };
 
         // Library members are unclassifiable from the start.
@@ -270,14 +410,28 @@ impl<'p> DeadMemberAnalysis<'p> {
         }
 
         // Global initializers run unconditionally before `main`.
-        marker.replay(summary.globals()?);
+        marker.replay(None, summary.globals()?);
+        let mut replays: u64 = 1;
 
         // Every reachable function, in id order — the sequential scan.
         for func in callgraph.reachable() {
-            marker.replay(summary.function(func)?);
+            marker.replay(Some(func), summary.function(func)?);
+            replays += 1;
         }
+        drop(scan_span);
+        telemetry.update_stats(|s| {
+            s.scan_rounds += 1;
+            s.scan_shards = s.scan_shards.max(1);
+            s.summary_replays += replays;
+        });
 
+        let union_span = telemetry.span(LANE_MAIN, || "union post-pass".into());
+        marker.counters.markall_classes_expanded = marker.visited.len() as u64;
         marker.propagate_unions();
+        marker.counters.union_classes_livened =
+            marker.visited.len() as u64 - marker.counters.markall_classes_expanded;
+        drop(union_span);
+        telemetry.add_counters(&marker.counters);
         Ok(marker.liveness)
     }
 
@@ -297,6 +451,8 @@ impl<'p> DeadMemberAnalysis<'p> {
             liveness: Liveness::new(),
             visited: HashSet::new(),
             config: &self.config,
+            current: None,
+            counters: Counters::default(),
         };
 
         // Library members are unclassifiable from the start.
@@ -326,68 +482,89 @@ struct Marker<'p, 'c> {
     /// `MarkAllContainedMembers` (line 4 / line 38).
     visited: HashSet<ClassId>,
     config: &'c AnalysisConfig,
+    /// The function whose body is being scanned, stamped into each mark's
+    /// [`Origin`]. `None` during the global-initializer walk.
+    current: Option<FuncId>,
+    /// Deterministic event counts for this marker's slice of the scan.
+    counters: Counters,
 }
 
 impl Marker<'_, '_> {
     /// `MarkAllContainedMembers` (Figure 2, lines 36–50): marks every data
     /// member of `class` live, recursing into by-value member classes and
     /// direct base classes, with duplicate suppression via the visited set.
-    fn mark_all_contained(&mut self, class: ClassId, reason: LiveReason) {
+    /// Every mark in the expansion carries the triggering `origin`.
+    fn mark_all_contained(&mut self, class: ClassId, reason: LiveReason, origin: Origin) {
         if !self.visited.insert(class) {
             return;
         }
         let info = self.program.class(class);
         for (idx, m) in info.members.iter().enumerate() {
-            self.liveness.mark_live(MemberRef::new(class, idx), reason);
+            self.liveness
+                .mark_live_from(MemberRef::new(class, idx), reason, origin);
             if let Some(name) = by_value_class(&m.ty) {
                 if let Some(id) = self.program.class_by_name(name) {
-                    self.mark_all_contained(id, reason);
+                    self.mark_all_contained(id, reason, origin);
                 }
             }
         }
         let bases: Vec<ClassId> = info.bases.iter().map(|b| b.id).collect();
         for b in bases {
-            self.mark_all_contained(b, reason);
+            self.mark_all_contained(b, reason, origin);
         }
     }
 
-    /// Whether any member directly or indirectly contained in `class` is
-    /// currently live (used for the union rule).
-    fn any_contained_live(&self, class: ClassId, seen: &mut HashSet<ClassId>) -> bool {
-        if !seen.insert(class) {
-            return false;
-        }
-        let info = self.program.class(class);
-        for (idx, m) in info.members.iter().enumerate() {
-            if self.liveness.is_live(MemberRef::new(class, idx)) {
-                return true;
+    /// The smallest live [`MemberRef`] directly or indirectly contained in
+    /// `class`, or `None` when none is live (the union rule's trigger).
+    /// Taking the *minimum* — rather than the first hit of some traversal —
+    /// makes the witness recorded in [`Origin::Union`] independent of the
+    /// walk order, so both engines agree on it.
+    fn min_live_contained(&self, class: ClassId) -> Option<MemberRef> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![class];
+        let mut min: Option<MemberRef> = None;
+        while let Some(c) = stack.pop() {
+            if !seen.insert(c) {
+                continue;
             }
-            if let Some(name) = by_value_class(&m.ty) {
-                if let Some(id) = self.program.class_by_name(name) {
-                    if self.any_contained_live(id, seen) {
-                        return true;
+            let info = self.program.class(c);
+            for (idx, m) in info.members.iter().enumerate() {
+                let r = MemberRef::new(c, idx);
+                if self.liveness.is_live(r) && min.map_or(true, |cur| r < cur) {
+                    min = Some(r);
+                }
+                if let Some(name) = by_value_class(&m.ty) {
+                    if let Some(id) = self.program.class_by_name(name) {
+                        stack.push(id);
                     }
                 }
             }
+            stack.extend(info.bases.iter().map(|b| b.id));
         }
-        info.bases
-            .iter()
-            .any(|b| self.any_contained_live(b.id, &mut seen.clone()))
+        min
     }
 
     /// Union propagation (Figure 2, lines 9–11), to a fixpoint since
     /// marking a union's contents may liven members of another union.
+    /// Counts every fixpoint iteration — including the final, confirming
+    /// one — into `union_rounds`.
     fn propagate_unions(&mut self) {
         loop {
+            self.counters.union_rounds += 1;
             let mut changed = false;
             for (cid, class) in self.program.classes() {
                 if class.kind != ClassKind::Union {
                     continue;
                 }
-                let any_live = self.any_contained_live(cid, &mut HashSet::new());
-                let all_marked = self.visited.contains(&cid);
-                if any_live && !all_marked {
-                    self.mark_all_contained(cid, LiveReason::UnionPropagation);
+                if self.visited.contains(&cid) {
+                    continue;
+                }
+                if let Some(via) = self.min_live_contained(cid) {
+                    self.mark_all_contained(
+                        cid,
+                        LiveReason::UnionPropagation,
+                        Origin::Union { root: cid, via },
+                    );
                     changed = true;
                 }
             }
@@ -422,21 +599,39 @@ struct SummaryMarker<'p, 's, 'c> {
     liveness: Liveness,
     visited: HashSet<ClassId>,
     config: &'c AnalysisConfig,
+    counters: Counters,
 }
 
 impl SummaryMarker<'_, '_, '_> {
-    /// Replays one function's liveness facts in body order.
-    fn replay(&mut self, s: &FnSummary) {
+    /// Replays one function's liveness facts in body order, stamping
+    /// `func` into each mark's [`Origin`] (`None` for the global
+    /// initializers). The counters increment exactly where the walking
+    /// engine's [`Sink`] increments them — one per surviving step — so the
+    /// totals are engine-independent.
+    fn replay(&mut self, func: Option<FuncId>, s: &FnSummary) {
         for step in &s.live_steps {
             match step {
                 LiveStep::Access { member, kind } => {
                     let reason = match kind {
-                        MemberAccessKind::Read => LiveReason::Read,
-                        MemberAccessKind::AddressTaken => LiveReason::AddressTaken,
-                        MemberAccessKind::PointerToMember => LiveReason::PointerToMember,
-                        MemberAccessKind::VolatileWrite => LiveReason::VolatileWrite,
+                        MemberAccessKind::Read => {
+                            self.counters.scan_reads += 1;
+                            LiveReason::Read
+                        }
+                        MemberAccessKind::AddressTaken => {
+                            self.counters.scan_address_taken += 1;
+                            LiveReason::AddressTaken
+                        }
+                        MemberAccessKind::PointerToMember => {
+                            self.counters.scan_ptr_to_member += 1;
+                            LiveReason::PointerToMember
+                        }
+                        MemberAccessKind::VolatileWrite => {
+                            self.counters.scan_volatile_writes += 1;
+                            LiveReason::VolatileWrite
+                        }
                     };
-                    self.liveness.mark_live(*member, reason);
+                    self.liveness
+                        .mark_live_from(*member, reason, Origin::Access { func });
                 }
                 LiveStep::MarkAll { class, cause } => {
                     // Configuration gates resolve here, so one summary
@@ -456,44 +651,63 @@ impl SummaryMarker<'_, '_, '_> {
                             LiveReason::Sizeof
                         }
                     };
-                    self.mark_all_contained(*class, reason);
+                    self.counters.markall_triggers += 1;
+                    self.mark_all_contained(*class, reason, Origin::MarkAll { func, root: *class });
                 }
             }
         }
     }
 
     /// `MarkAllContainedMembers` as a flat sweep of the precomputed
-    /// closure.
-    fn mark_all_contained(&mut self, class: ClassId, reason: LiveReason) {
+    /// closure, each mark carrying the triggering `origin`.
+    fn mark_all_contained(&mut self, class: ClassId, reason: LiveReason, origin: Origin) {
         for &c in self.summary.contained_classes(class) {
             if !self.visited.insert(c) {
                 continue;
             }
             for idx in 0..self.program.class(c).members.len() {
-                self.liveness.mark_live(MemberRef::new(c, idx), reason);
+                self.liveness
+                    .mark_live_from(MemberRef::new(c, idx), reason, origin);
             }
         }
     }
 
-    /// Whether any member contained in `class` is currently live.
-    fn any_contained_live(&self, class: ClassId) -> bool {
-        self.summary.contained_classes(class).iter().any(|&c| {
-            let n = self.program.class(c).members.len();
-            (0..n).any(|idx| self.liveness.is_live(MemberRef::new(c, idx)))
-        })
+    /// The smallest live [`MemberRef`] contained in `class` — over the
+    /// same closure set [`Marker::min_live_contained`] walks, so both
+    /// engines pick the same union witness.
+    fn min_live_contained(&self, class: ClassId) -> Option<MemberRef> {
+        let mut min: Option<MemberRef> = None;
+        for &c in self.summary.contained_classes(class) {
+            for idx in 0..self.program.class(c).members.len() {
+                let r = MemberRef::new(c, idx);
+                if self.liveness.is_live(r) && min.map_or(true, |cur| r < cur) {
+                    min = Some(r);
+                }
+            }
+        }
+        min
     }
 
     /// Union propagation (Figure 2, lines 9–11) to a fixpoint, iterating
-    /// classes in the same order as [`Marker::propagate_unions`].
+    /// classes in the same order — and counting the same `union_rounds` —
+    /// as [`Marker::propagate_unions`].
     fn propagate_unions(&mut self) {
         loop {
+            self.counters.union_rounds += 1;
             let mut changed = false;
             for (cid, class) in self.program.classes() {
                 if class.kind != ClassKind::Union {
                     continue;
                 }
-                if self.any_contained_live(cid) && !self.visited.contains(&cid) {
-                    self.mark_all_contained(cid, LiveReason::UnionPropagation);
+                if self.visited.contains(&cid) {
+                    continue;
+                }
+                if let Some(via) = self.min_live_contained(cid) {
+                    self.mark_all_contained(
+                        cid,
+                        LiveReason::UnionPropagation,
+                        Origin::Union { root: cid, via },
+                    );
                     changed = true;
                 }
             }
@@ -511,14 +725,18 @@ struct Sink<'a, 'p, 'c> {
 impl EventVisitor for Sink<'_, '_, '_> {
     fn member_access(&mut self, ev: &MemberAccessEvent) {
         let member = &self.marker.program.class(ev.member.class).members[ev.member.index as usize];
+        let origin = Origin::Access {
+            func: self.marker.current,
+        };
         if ev.is_store_target {
             // "The act of storing a value into a data member cannot affect
             // the program's observable behavior by itself" — except for
             // volatile members (footnote 1).
             if member.is_volatile {
+                self.marker.counters.scan_volatile_writes += 1;
                 self.marker
                     .liveness
-                    .mark_live(ev.member, LiveReason::VolatileWrite);
+                    .mark_live_from(ev.member, LiveReason::VolatileWrite, origin);
             }
             return;
         }
@@ -528,19 +746,25 @@ impl EventVisitor for Sink<'_, '_, '_> {
             return;
         }
         let reason = if ev.address_taken {
+            self.marker.counters.scan_address_taken += 1;
             LiveReason::AddressTaken
         } else {
+            self.marker.counters.scan_reads += 1;
             LiveReason::Read
         };
-        self.marker.liveness.mark_live(ev.member, reason);
+        self.marker.liveness.mark_live_from(ev.member, reason, origin);
     }
 
     fn ptr_to_member(&mut self, member: MemberRef, _span: ddm_cppfront::Span) {
         // "&Z::m ... we simply assume that any member whose offset is
         // computed may be accessed somewhere in the program."
+        self.marker.counters.scan_ptr_to_member += 1;
+        let origin = Origin::Access {
+            func: self.marker.current,
+        };
         self.marker
             .liveness
-            .mark_live(member, LiveReason::PointerToMember);
+            .mark_live_from(member, LiveReason::PointerToMember, origin);
     }
 
     fn cast(&mut self, ev: &CastEvent) {
@@ -551,7 +775,13 @@ impl EventVisitor for Sink<'_, '_, '_> {
         let operand = strip_indirections(&ev.operand);
         if let Some(name) = operand.named() {
             if let Some(id) = self.marker.program.class_by_name(name) {
-                self.marker.mark_all_contained(id, LiveReason::UnsafeCast);
+                self.marker.counters.markall_triggers += 1;
+                let origin = Origin::MarkAll {
+                    func: self.marker.current,
+                    root: id,
+                };
+                self.marker
+                    .mark_all_contained(id, LiveReason::UnsafeCast, origin);
             }
         }
     }
@@ -563,7 +793,13 @@ impl EventVisitor for Sink<'_, '_, '_> {
         let ty = strip_indirections(ty);
         if let Some(name) = ty.named() {
             if let Some(id) = self.marker.program.class_by_name(name) {
-                self.marker.mark_all_contained(id, LiveReason::Sizeof);
+                self.marker.counters.markall_triggers += 1;
+                let origin = Origin::MarkAll {
+                    func: self.marker.current,
+                    root: id,
+                };
+                self.marker
+                    .mark_all_contained(id, LiveReason::Sizeof, origin);
             }
         }
     }

@@ -24,12 +24,14 @@
 
 pub mod analysis;
 pub mod eliminate;
+pub mod explain;
 pub mod liveness;
 pub mod pipeline;
 pub mod report;
 
-pub use analysis::{AnalysisConfig, DeadMemberAnalysis, SizeofPolicy};
+pub use analysis::{AnalysisConfig, DeadMemberAnalysis, SizeofPolicy, SEQUENTIAL_SCAN_THRESHOLD};
 pub use eliminate::{eliminate, Elimination, KeepReason};
-pub use liveness::{LiveReason, Liveness};
+pub use explain::{explain, witness_path};
+pub use liveness::{LiveReason, Liveness, Origin};
 pub use pipeline::{AnalysisPipeline, Engine, PipelineError};
 pub use report::{ClassReport, Report};

@@ -1,6 +1,6 @@
 //! Liveness classification results.
 
-use ddm_hierarchy::{MemberBitSet, MemberIndex, MemberRef, Program};
+use ddm_hierarchy::{ClassId, FuncId, MemberBitSet, MemberIndex, MemberRef, Program};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -38,6 +38,39 @@ impl fmt::Display for LiveReason {
     }
 }
 
+/// The provenance of one live mark: which step of the analysis induced
+/// it. Like [`LiveReason`], the *first* origin is recorded, so the walk
+/// and summary engines — which fire marks in the same order — record
+/// identical origins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// A direct access (read / address-taken / volatile write /
+    /// pointer-to-member) in `func`; `None` means the global
+    /// initializers, which run unconditionally before `main`.
+    Access {
+        /// The accessing function, or `None` for global initializers.
+        func: Option<FuncId>,
+    },
+    /// Swept up by a `MarkAllContainedMembers` expansion (unsafe cast or
+    /// conservative `sizeof`) triggered in `func` on `root`; the member
+    /// is contained in `root`.
+    MarkAll {
+        /// The triggering function, or `None` for global initializers.
+        func: Option<FuncId>,
+        /// The class whose containment closure was expanded.
+        root: ClassId,
+    },
+    /// Livened by the union fixpoint: `via` — the smallest live member
+    /// in `root`'s containment closure at the time the rule fired — made
+    /// union `root`'s contents live.
+    Union {
+        /// The union class the rule fired on.
+        root: ClassId,
+        /// A live member that justified firing the rule.
+        via: MemberRef,
+    },
+}
+
 /// The per-member classification produced by the analysis.
 ///
 /// Every data member of the program is either *live* (with a
@@ -61,6 +94,10 @@ impl fmt::Display for LiveReason {
 pub struct Liveness {
     live: BTreeMap<MemberRef, LiveReason>,
     unclassifiable: std::collections::BTreeSet<MemberRef>,
+    /// First-wins provenance per live member (see [`Origin`]). Populated
+    /// by [`Liveness::mark_live_from`]; like the dense accelerator, it is
+    /// excluded from equality — the classification is live/dead/reason.
+    origins: BTreeMap<MemberRef, Origin>,
     /// Optional dense accelerator (see [`Liveness::with_member_index`]).
     /// Kept in sync with `live`; not part of the classification itself.
     dense: Option<DenseLive>,
@@ -102,6 +139,7 @@ impl Liveness {
         Liveness {
             live: BTreeMap::new(),
             unclassifiable: std::collections::BTreeSet::new(),
+            origins: BTreeMap::new(),
             dense: Some(DenseLive {
                 bits: MemberBitSet::with_capacity(index.len()),
                 index,
@@ -130,6 +168,23 @@ impl Liveness {
         }
     }
 
+    /// [`Liveness::mark_live`] with provenance: records `origin` for the
+    /// member's *first* mark (the same first-wins rule as the reason).
+    pub fn mark_live_from(&mut self, member: MemberRef, reason: LiveReason, origin: Origin) -> bool {
+        if self.mark_live(member, reason) {
+            self.origins.insert(member, origin);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The recorded provenance of a live member, when the marking path
+    /// supplied one.
+    pub fn origin(&self, member: MemberRef) -> Option<Origin> {
+        self.origins.get(&member).copied()
+    }
+
     /// Marks `member` as unclassifiable (library class member).
     pub fn mark_unclassifiable(&mut self, member: MemberRef) {
         self.unclassifiable.insert(member);
@@ -150,7 +205,14 @@ impl Liveness {
     pub fn merge(&mut self, other: &Liveness) -> bool {
         let mut changed = false;
         for (&m, &r) in &other.live {
-            changed |= self.mark_live(m, r);
+            if self.mark_live(m, r) {
+                changed = true;
+                // The first shard to mark a member also contributes its
+                // provenance, keeping origins first-wins like reasons.
+                if let Some(&o) = other.origins.get(&m) {
+                    self.origins.insert(m, o);
+                }
+            }
         }
         for &m in &other.unclassifiable {
             changed |= self.unclassifiable.insert(m);
@@ -352,6 +414,40 @@ mod tests {
         assert!(dense.merge(&delta));
         assert!(dense.is_live(mref(0, 1)));
         assert!(!dense.merge(&delta));
+    }
+
+    #[test]
+    fn origin_is_first_wins_and_survives_merge() {
+        let f = FuncId::from_index(3);
+        let mut a = Liveness::new();
+        assert!(a.mark_live_from(mref(0, 0), LiveReason::Read, Origin::Access { func: Some(f) }));
+        assert!(!a.mark_live_from(
+            mref(0, 0),
+            LiveReason::UnsafeCast,
+            Origin::MarkAll {
+                func: None,
+                root: ClassId::from_index(0)
+            }
+        ));
+        assert_eq!(a.origin(mref(0, 0)), Some(Origin::Access { func: Some(f) }));
+        // Merge carries provenance for fresh members, keeps it for known
+        // ones.
+        let mut b = Liveness::new();
+        b.mark_live_from(mref(0, 0), LiveReason::Read, Origin::Access { func: None });
+        b.mark_live_from(mref(1, 0), LiveReason::Read, Origin::Access { func: None });
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(
+            merged.origin(mref(0, 0)),
+            Some(Origin::Access { func: Some(f) })
+        );
+        assert_eq!(merged.origin(mref(1, 0)), Some(Origin::Access { func: None }));
+        // Plain mark_live records no origin; classification-equality
+        // ignores origins either way.
+        let mut plain = Liveness::new();
+        plain.mark_live(mref(0, 0), LiveReason::Read);
+        assert_eq!(plain.origin(mref(0, 0)), None);
+        assert_eq!(plain, a);
     }
 
     #[test]

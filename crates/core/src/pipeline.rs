@@ -7,8 +7,10 @@ use crate::report::Report;
 use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
 use ddm_cppfront::{parse, ParseError};
 use ddm_hierarchy::{
-    used_classes, ClassId, MemberLookup, Program, ProgramSummary, SemaError, TypeError,
+    body_walk_count, used_classes, ClassId, MemberLookup, Program, ProgramSummary, SemaError,
+    TypeError,
 };
+use ddm_telemetry::{Counters, Telemetry, LANE_MAIN};
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
@@ -168,8 +170,39 @@ impl AnalysisPipeline {
         jobs: usize,
         engine: Engine,
     ) -> Result<AnalysisPipeline, PipelineError> {
+        Self::with_config_telemetry(source, config, algorithm, jobs, engine, &Telemetry::disabled())
+    }
+
+    /// [`AnalysisPipeline::with_config_engine`] with telemetry: every
+    /// pipeline phase is spanned on the main lane (workers record their
+    /// own lanes), the deterministic counters are accumulated, and the
+    /// execution-stats snapshot is filled in.
+    ///
+    /// Telemetry observes the run but never steers it: the pipeline's
+    /// analysis artifacts are byte-identical whether the collector is
+    /// enabled, disabled, or absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] for parse, semantic, or type failures.
+    pub fn with_config_telemetry(
+        source: &str,
+        config: AnalysisConfig,
+        algorithm: Algorithm,
+        jobs: usize,
+        engine: Engine,
+        telemetry: &Telemetry,
+    ) -> Result<AnalysisPipeline, PipelineError> {
+        let walks_before = body_walk_count();
+
+        let parse_span = telemetry.span(LANE_MAIN, || format!("parse ({} bytes)", source.len()));
         let tu = parse(source)?;
+        drop(parse_span);
+
+        let sema_span = telemetry.span(LANE_MAIN, || "program model".to_string());
         let program = Program::build(&tu)?;
+        drop(sema_span);
+
         let cg_options = CallGraphOptions {
             algorithm,
             library_classes: config
@@ -181,24 +214,66 @@ impl AnalysisPipeline {
         let (callgraph, liveness, used) = match engine {
             Engine::Walk => {
                 let lookup = MemberLookup::new(&program);
-                let callgraph = CallGraph::build(&program, &lookup, &cg_options)?;
-                let liveness =
-                    DeadMemberAnalysis::new(&program, config.clone()).run_jobs(&callgraph, jobs)?;
+                let cg_span = telemetry.span(LANE_MAIN, || "callgraph".to_string());
+                let callgraph = CallGraph::build_with(&program, &lookup, &cg_options, telemetry)?;
+                drop(cg_span);
+                let liveness = DeadMemberAnalysis::new(&program, config.clone()).run_jobs_with(
+                    &callgraph,
+                    jobs,
+                    telemetry,
+                )?;
+                let used_span = telemetry.span(LANE_MAIN, || "used classes".to_string());
                 let used = used_classes(&program, &lookup)?;
+                drop(used_span);
                 (callgraph, liveness, used)
             }
             Engine::Summary => {
                 // Walk once: extract summaries (sharded across `jobs`
                 // workers), then every downstream phase propagates over
                 // them without touching an AST again.
-                let summary = ProgramSummary::build(&program, algorithm == Algorithm::Pta, jobs);
-                let callgraph = CallGraph::build_from_summary(&program, &summary, &cg_options)?;
-                let liveness = DeadMemberAnalysis::new(&program, config.clone())
-                    .run_summary(&summary, &callgraph)?;
+                let summary =
+                    ProgramSummary::build_with(&program, algorithm == Algorithm::Pta, jobs, telemetry);
+                let cg_span = telemetry.span(LANE_MAIN, || "callgraph".to_string());
+                let callgraph =
+                    CallGraph::build_from_summary_with(&program, &summary, &cg_options, telemetry)?;
+                drop(cg_span);
+                let liveness = DeadMemberAnalysis::new(&program, config.clone()).run_summary_with(
+                    &summary,
+                    &callgraph,
+                    telemetry,
+                )?;
+                let used_span = telemetry.span(LANE_MAIN, || "used classes".to_string());
                 let used = summary.used_classes(&program)?;
+                drop(used_span);
                 (callgraph, liveness, used)
             }
         };
+
+        telemetry.update_stats(|s| {
+            s.engine = engine.to_string();
+            s.jobs = jobs as u64;
+            s.bodies_walked += body_walk_count() - walks_before;
+        });
+        let mut tail = Counters::default();
+        tail.reachable_functions = callgraph.reachable_count() as u64;
+        tail.callgraph_edges = callgraph.edge_count() as u64;
+        tail.instantiated_classes = callgraph.instantiated().len() as u64;
+        for (cid, class) in program.classes() {
+            for idx in 0..class.members.len() {
+                let m = ddm_hierarchy::MemberRef::new(cid, idx);
+                // Mirror the report's precedence: unclassifiable trumps
+                // the live/dead verdict.
+                if liveness.is_unclassifiable(m) {
+                    tail.members_unclassifiable += 1;
+                } else if liveness.is_live(m) {
+                    tail.members_live += 1;
+                } else {
+                    tail.members_dead += 1;
+                }
+            }
+        }
+        telemetry.add_counters(&tail);
+
         Ok(AnalysisPipeline {
             tu,
             program,

@@ -45,6 +45,7 @@ pub use subobject::{Subobject, SubobjectId, SubobjectTree};
 pub use summary::{
     classify_cast, strip_indirections, CastSafety, CgStep, DeleteSite, FnSummary, LiveStep,
     MarkAllCause, MemberAccessKind, MemberBitSet, MemberIndex, ProgramSummary, VirtualSite,
+    EXTRACTION_SHARD_THRESHOLD,
 };
 pub use typewalk::{
     body_walk_count, resolve_ctor, walk_function, walk_globals, Builtin, CallEvent, CallTarget,

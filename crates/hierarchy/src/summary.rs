@@ -36,7 +36,18 @@ use crate::typewalk::{
 };
 use ddm_cppfront::ast::{CastStyle, Type, TypeKind};
 use ddm_cppfront::Span;
+use ddm_telemetry::{Telemetry, LANE_MAIN};
 use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Minimum function count before [`ProgramSummary::build`] shards
+/// extraction across worker threads. Below it, thread spawn and join
+/// overhead exceeds the walk itself (the suite's programs are 16–85
+/// functions; spawning eight workers for them is where the `--jobs 8`
+/// regression in `BENCH_suite.json` came from). The threshold is
+/// deliberately *not* tied to the host's CPU count: extraction results
+/// are identical either way, and a fixed cut keeps the execution shape
+/// reproducible across machines.
+pub const EXTRACTION_SHARD_THRESHOLD: usize = 64;
 
 /// Dense program-wide numbering of every data member.
 ///
@@ -383,8 +394,23 @@ impl ProgramSummary {
     /// Extraction is a pure function of each body, so the result is
     /// identical for every `jobs` value.
     pub fn build(program: &Program, refine_receivers: bool, jobs: usize) -> ProgramSummary {
+        Self::build_with(program, refine_receivers, jobs, &Telemetry::disabled())
+    }
+
+    /// [`ProgramSummary::build`] with telemetry: the extraction phase is
+    /// spanned on the main lane, and each worker records its shard on its
+    /// own lane (shard index + 1).
+    pub fn build_with(
+        program: &Program,
+        refine_receivers: bool,
+        jobs: usize,
+        telemetry: &Telemetry,
+    ) -> ProgramSummary {
         let n = program.function_count();
-        let functions: Vec<Result<FnSummary, TypeError>> = if jobs <= 1 || n < 2 {
+        let _extraction = telemetry.span(LANE_MAIN, || format!("summary extraction ({n} fns)"));
+        let functions: Vec<Result<FnSummary, TypeError>> = if jobs <= 1
+            || n < EXTRACTION_SHARD_THRESHOLD
+        {
             let lookup = MemberLookup::new(program);
             (0..n)
                 .map(|i| extract_function(program, &lookup, FuncId::from_index(i), refine_receivers))
@@ -397,9 +423,14 @@ impl ProgramSummary {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..n)
                     .step_by(per_shard)
-                    .map(|start| {
+                    .enumerate()
+                    .map(|(shard_ix, start)| {
                         let end = (start + per_shard).min(n);
                         scope.spawn(move || {
+                            let lane = u32::try_from(shard_ix + 1).unwrap_or(u32::MAX);
+                            let _shard = telemetry.span(lane, || {
+                                format!("extract shard {shard_ix} ({} fns)", end - start)
+                            });
                             let lookup = MemberLookup::new(program);
                             (start..end)
                                 .map(|i| {

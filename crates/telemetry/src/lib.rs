@@ -1,0 +1,548 @@
+//! # ddm-telemetry
+//!
+//! Observability for the dead-data-member pipeline, split along one hard
+//! line:
+//!
+//! * **Deterministic counters** ([`Counters`]) are semantic event counts —
+//!   how many members the scan read, how many `MarkAllContainedMembers`
+//!   expansions fired, how many union-fixpoint rounds ran. They are
+//!   bit-identical across `--jobs 1..N` and across both engines
+//!   (walk/summary), so tests can assert them.
+//! * **Timing spans** ([`SpanRecord`]) and **execution stats**
+//!   ([`ExecStats`]) are observational — wall-clock phase timings, worker
+//!   lanes, round counts, whether the sequential fast path fired. They
+//!   describe *how* a particular run executed and are never asserted for
+//!   equality across configurations.
+//!
+//! A [`Telemetry`] handle is threaded through the pipeline by reference.
+//! The disabled handle ([`Telemetry::disabled`]) holds no state at all:
+//! [`Telemetry::span`] never evaluates its name closure, never reads the
+//! clock, and never allocates, so instrumented hot loops cost a branch on
+//! an `Option` when telemetry is off.
+//!
+//! Enabled spans export to Chrome trace-event JSON
+//! ([`Telemetry::chrome_trace_json`], loadable in `chrome://tracing` or
+//! Perfetto, one lane per worker) and to a human-readable stderr table
+//! ([`Telemetry::render_stats`]).
+
+pub mod json;
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The span lane of the coordinating thread. Worker lanes are `1..=N`
+/// (shard index + 1).
+pub const LANE_MAIN: u32 = 0;
+
+/// Deterministic event counts: identical for every `--jobs` value and
+/// both engines on the same input and configuration.
+///
+/// Scan counters count *marking attempts* (events the paper's rules
+/// fire on), not fresh marks: attempts partition across shards, so their
+/// sum is independent of how the reachable set is sliced, while fresh
+/// marks would depend on which shard saw a member first.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counters {
+    /// Functions reachable in the call graph.
+    pub reachable_functions: u64,
+    /// Resolved call edges.
+    pub callgraph_edges: u64,
+    /// Classes in the instantiated set.
+    pub instantiated_classes: u64,
+    /// Member reads the scan marked live for.
+    pub scan_reads: u64,
+    /// Address-taken member accesses.
+    pub scan_address_taken: u64,
+    /// `&Z::m` pointer-to-member expressions.
+    pub scan_ptr_to_member: u64,
+    /// Stores to volatile members.
+    pub scan_volatile_writes: u64,
+    /// `MarkAllContainedMembers` triggers that fired after resolving the
+    /// configuration gates (unsafe casts, down-cast policy, sizeof policy).
+    pub markall_triggers: u64,
+    /// Distinct classes expanded by `MarkAllContainedMembers` before the
+    /// union post-pass (the merged visited set).
+    pub markall_classes_expanded: u64,
+    /// Union-propagation fixpoint rounds (including the final,
+    /// nothing-changed round).
+    pub union_rounds: u64,
+    /// Classes the union post-pass expanded.
+    pub union_classes_livened: u64,
+    /// Final classification: live / dead / unclassifiable members.
+    pub members_live: u64,
+    /// Members classified dead.
+    pub members_dead: u64,
+    /// Members of library classes (§3.3), unclassifiable.
+    pub members_unclassifiable: u64,
+}
+
+impl Counters {
+    /// Adds `other` into `self`, field-wise. Contributions come from
+    /// disjoint phases (scan counters from the analysis, graph and
+    /// classification totals from the pipeline), merged in a fixed order
+    /// like `Liveness::merge`.
+    pub fn add(&mut self, other: &Counters) {
+        for ((_, a), (_, b)) in self.rows_mut().into_iter().zip(other.rows()) {
+            *a += b;
+        }
+    }
+
+    /// Stable (key, value) view, in rendering order. The keys double as
+    /// JSON field names in `BENCH_suite.json`.
+    pub fn rows(&self) -> [(&'static str, u64); 14] {
+        [
+            ("reachable_functions", self.reachable_functions),
+            ("callgraph_edges", self.callgraph_edges),
+            ("instantiated_classes", self.instantiated_classes),
+            ("scan_reads", self.scan_reads),
+            ("scan_address_taken", self.scan_address_taken),
+            ("scan_ptr_to_member", self.scan_ptr_to_member),
+            ("scan_volatile_writes", self.scan_volatile_writes),
+            ("markall_triggers", self.markall_triggers),
+            ("markall_classes_expanded", self.markall_classes_expanded),
+            ("union_rounds", self.union_rounds),
+            ("union_classes_livened", self.union_classes_livened),
+            ("members_live", self.members_live),
+            ("members_dead", self.members_dead),
+            ("members_unclassifiable", self.members_unclassifiable),
+        ]
+    }
+
+    fn rows_mut(&mut self) -> [(&'static str, &mut u64); 14] {
+        [
+            ("reachable_functions", &mut self.reachable_functions),
+            ("callgraph_edges", &mut self.callgraph_edges),
+            ("instantiated_classes", &mut self.instantiated_classes),
+            ("scan_reads", &mut self.scan_reads),
+            ("scan_address_taken", &mut self.scan_address_taken),
+            ("scan_ptr_to_member", &mut self.scan_ptr_to_member),
+            ("scan_volatile_writes", &mut self.scan_volatile_writes),
+            ("markall_triggers", &mut self.markall_triggers),
+            (
+                "markall_classes_expanded",
+                &mut self.markall_classes_expanded,
+            ),
+            ("union_rounds", &mut self.union_rounds),
+            ("union_classes_livened", &mut self.union_classes_livened),
+            ("members_live", &mut self.members_live),
+            ("members_dead", &mut self.members_dead),
+            ("members_unclassifiable", &mut self.members_unclassifiable),
+        ]
+    }
+}
+
+/// Observational execution shape: how *this* run happened to execute.
+/// Varies with `--jobs`, the engine, and scheduling; never asserted for
+/// cross-configuration equality.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Engine name ("walk" / "summary").
+    pub engine: String,
+    /// Requested worker count.
+    pub jobs: u64,
+    /// Function/global bodies traversed (AST walks).
+    pub bodies_walked: u64,
+    /// `FnSummary` replays (call-graph construction + liveness scan).
+    pub summary_replays: u64,
+    /// Call-graph fixpoint rounds.
+    pub callgraph_rounds: u64,
+    /// Liveness scan rounds (sequential scan: 1).
+    pub scan_rounds: u64,
+    /// Shards the scan was split into (sequential scan: 1).
+    pub scan_shards: u64,
+    /// Whether `run_jobs` fell back to the sequential scan because the
+    /// program is below the function-count threshold.
+    pub scan_sequential_fastpath: bool,
+    /// `Liveness::merge` reductions performed by the coordinator.
+    pub liveness_merges: u64,
+    /// Pending-dispatch worklist registrations in the summary call-graph
+    /// builder.
+    pub worklist_pushes: u64,
+    /// Worker idle→busy transitions (one per scan command processed).
+    pub worker_busy_transitions: u64,
+}
+
+impl ExecStats {
+    /// Stable (key, value) view of the numeric fields, in rendering order.
+    pub fn rows(&self) -> [(&'static str, u64); 9] {
+        [
+            ("jobs", self.jobs),
+            ("bodies_walked", self.bodies_walked),
+            ("summary_replays", self.summary_replays),
+            ("callgraph_rounds", self.callgraph_rounds),
+            ("scan_rounds", self.scan_rounds),
+            ("scan_shards", self.scan_shards),
+            ("liveness_merges", self.liveness_merges),
+            ("worklist_pushes", self.worklist_pushes),
+            ("worker_busy_transitions", self.worker_busy_transitions),
+        ]
+    }
+}
+
+/// One completed timed phase. `start_ns` is relative to the handle's
+/// creation; nesting is by time containment within a lane (the Chrome
+/// trace model).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name, e.g. `"parse"` or `"scan round 0 shard 2 (11 fns)"`.
+    pub name: String,
+    /// 0 = coordinator, `1..=N` = worker lanes.
+    pub lane: u32,
+    /// Nanoseconds since the handle was created.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct Collected {
+    spans: Vec<SpanRecord>,
+    counters: Counters,
+    stats: ExecStats,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    collected: Mutex<Collected>,
+}
+
+/// The telemetry handle threaded through the pipeline.
+///
+/// Shared by reference across worker threads (all state sits behind one
+/// mutex, touched only at phase boundaries — never inside per-member
+/// marking loops).
+#[derive(Debug)]
+pub struct Telemetry {
+    inner: Option<Inner>,
+}
+
+impl Telemetry {
+    /// A no-op handle: no clock, no allocation, every operation is a
+    /// branch on `None`.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// A collecting handle; the creation instant is the trace epoch.
+    pub fn enabled() -> Telemetry {
+        Telemetry {
+            inner: Some(Inner {
+                epoch: Instant::now(),
+                collected: Mutex::new(Collected::default()),
+            }),
+        }
+    }
+
+    /// Whether this handle collects anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a timed span on `lane`; the span records itself when the
+    /// guard drops. The name closure is only evaluated (and only
+    /// allocates) when telemetry is enabled.
+    #[must_use]
+    pub fn span(&self, lane: u32, name: impl FnOnce() -> String) -> SpanGuard<'_> {
+        match &self.inner {
+            None => SpanGuard { open: None },
+            Some(inner) => SpanGuard {
+                open: Some(OpenSpan {
+                    inner,
+                    name: name(),
+                    lane,
+                    start_ns: elapsed_ns(inner.epoch),
+                }),
+            },
+        }
+    }
+
+    /// Adds a batch of deterministic counts (no-op when disabled).
+    pub fn add_counters(&self, delta: &Counters) {
+        if let Some(inner) = &self.inner {
+            inner.collected.lock().expect(POISONED).counters.add(delta);
+        }
+    }
+
+    /// The deterministic counters collected so far.
+    pub fn counters(&self) -> Counters {
+        match &self.inner {
+            None => Counters::default(),
+            Some(inner) => inner.collected.lock().expect(POISONED).counters,
+        }
+    }
+
+    /// Mutates the execution stats (no-op when disabled).
+    pub fn update_stats(&self, f: impl FnOnce(&mut ExecStats)) {
+        if let Some(inner) = &self.inner {
+            f(&mut inner.collected.lock().expect(POISONED).stats);
+        }
+    }
+
+    /// The execution stats collected so far.
+    pub fn stats(&self) -> ExecStats {
+        match &self.inner {
+            None => ExecStats::default(),
+            Some(inner) => inner.collected.lock().expect(POISONED).stats.clone(),
+        }
+    }
+
+    /// Completed spans, sorted by (lane, start, longest-first) so a
+    /// parent precedes its children.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut spans = match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.collected.lock().expect(POISONED).spans.clone(),
+        };
+        spans.sort_by(|a, b| {
+            (a.lane, a.start_ns, b.dur_ns).cmp(&(b.lane, b.start_ns, a.dur_ns))
+        });
+        spans
+    }
+
+    /// Distinct lanes that recorded at least one span, ascending.
+    pub fn lanes(&self) -> Vec<u32> {
+        let mut lanes: Vec<u32> = self.spans().iter().map(|s| s.lane).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        lanes
+    }
+
+    /// Renders the spans as Chrome trace-event JSON: one complete ("X")
+    /// event per span, one `tid` per lane, plus `thread_name` metadata
+    /// ("main", "worker-1", ...). Loadable in `chrome://tracing` and
+    /// Perfetto.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\": [\n");
+        let mut first = true;
+        for lane in self.lanes() {
+            let name = lane_name(lane);
+            push_event(&mut out, &mut first, &format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {lane}, \"args\": {{\"name\": \"{name}\"}}}}"
+            ));
+        }
+        for s in self.spans() {
+            push_event(&mut out, &mut first, &format!(
+                "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}, \"args\": {{}}}}",
+                json::escape(&s.name),
+                s.lane,
+                micros(s.start_ns),
+                micros(s.dur_ns),
+            ));
+        }
+        out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+        out
+    }
+
+    /// Renders the human-readable `--stats` table: phase spans (lane 0
+    /// nested by containment, worker lanes summarized), deterministic
+    /// counters, and execution stats.
+    pub fn render_stats(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== phase spans ==\n");
+        let spans = self.spans();
+        // Lane 0 nests by time containment; worker lanes are summarized.
+        let mut stack: Vec<u64> = Vec::new(); // end times of open ancestors
+        for s in spans.iter().filter(|s| s.lane == LANE_MAIN) {
+            let end = s.start_ns + s.dur_ns;
+            while stack.last().is_some_and(|&pend| s.start_ns >= pend) {
+                stack.pop();
+            }
+            let indent = "  ".repeat(stack.len());
+            out.push_str(&format!(
+                "{:<44} {:>12}\n",
+                format!("{indent}{}", s.name),
+                format_ms(s.dur_ns)
+            ));
+            stack.push(end);
+        }
+        for lane in self.lanes().into_iter().filter(|&l| l != LANE_MAIN) {
+            let (count, busy): (u64, u64) = spans
+                .iter()
+                .filter(|s| s.lane == lane)
+                .fold((0, 0), |(c, b), s| (c + 1, b + s.dur_ns));
+            out.push_str(&format!(
+                "{:<44} {:>12}  ({count} spans)\n",
+                lane_name(lane),
+                format_ms(busy)
+            ));
+        }
+        out.push_str("== deterministic counters ==\n");
+        for (key, value) in self.counters().rows() {
+            out.push_str(&format!("{key:<44} {value:>12}\n"));
+        }
+        out.push_str("== execution stats ==\n");
+        let stats = self.stats();
+        out.push_str(&format!("{:<44} {:>12}\n", "engine", stats.engine));
+        for (key, value) in stats.rows() {
+            out.push_str(&format!("{key:<44} {value:>12}\n"));
+        }
+        out.push_str(&format!(
+            "{:<44} {:>12}\n",
+            "scan_sequential_fastpath", stats.scan_sequential_fastpath
+        ));
+        out
+    }
+}
+
+const POISONED: &str = "telemetry state poisoned";
+
+fn elapsed_ns(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn lane_name(lane: u32) -> String {
+    if lane == LANE_MAIN {
+        "main".to_string()
+    } else {
+        format!("worker-{lane}")
+    }
+}
+
+fn push_event(out: &mut String, first: &mut bool, event: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str("  ");
+    out.push_str(event);
+}
+
+/// Nanoseconds → microseconds with three decimals (the trace format's
+/// `ts`/`dur` unit).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn format_ms(ns: u64) -> String {
+    format!("{}.{:03} ms", ns / 1_000_000, (ns / 1_000) % 1_000)
+}
+
+#[derive(Debug)]
+struct OpenSpan<'t> {
+    inner: &'t Inner,
+    name: String,
+    lane: u32,
+    start_ns: u64,
+}
+
+/// RAII span: created by [`Telemetry::span`], records itself on drop.
+#[derive(Debug)]
+#[must_use = "a span measures until it is dropped"]
+pub struct SpanGuard<'t> {
+    open: Option<OpenSpan<'t>>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            let dur_ns = elapsed_ns(open.inner.epoch).saturating_sub(open.start_ns);
+            open.inner
+                .collected
+                .lock()
+                .expect(POISONED)
+                .spans
+                .push(SpanRecord {
+                    name: open.name,
+                    lane: open.lane,
+                    start_ns: open.start_ns,
+                    dur_ns,
+                });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_collects_nothing() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        {
+            let _span = t.span(LANE_MAIN, || unreachable!("name must not be evaluated"));
+        }
+        t.add_counters(&Counters {
+            scan_reads: 5,
+            ..Default::default()
+        });
+        t.update_stats(|_| unreachable!("stats closure must not run"));
+        assert_eq!(t.counters(), Counters::default());
+        assert_eq!(t.stats(), ExecStats::default());
+        assert!(t.spans().is_empty());
+        assert!(t.lanes().is_empty());
+    }
+
+    #[test]
+    fn spans_record_on_drop_and_sort_parent_first() {
+        let t = Telemetry::enabled();
+        {
+            let _outer = t.span(LANE_MAIN, || "outer".into());
+            let _inner = t.span(LANE_MAIN, || "inner".into());
+        }
+        let _worker = t.span(2, || "shard".into());
+        drop(_worker);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "outer", "parent (longer) sorts first");
+        assert_eq!(spans[1].name, "inner");
+        assert_eq!(spans[2].lane, 2);
+        assert_eq!(t.lanes(), vec![LANE_MAIN, 2]);
+    }
+
+    #[test]
+    fn counters_add_is_fieldwise() {
+        let mut a = Counters {
+            scan_reads: 2,
+            union_rounds: 1,
+            ..Default::default()
+        };
+        let b = Counters {
+            scan_reads: 3,
+            members_live: 7,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.scan_reads, 5);
+        assert_eq!(a.union_rounds, 1);
+        assert_eq!(a.members_live, 7);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_lane_names() {
+        let t = Telemetry::enabled();
+        drop(t.span(LANE_MAIN, || "parse".into()));
+        drop(t.span(1, || "scan \"round\" 0 shard 0 (3 fns)".into()));
+        let trace = t.chrome_trace_json();
+        json::validate(&trace).expect("trace must be valid JSON");
+        assert!(trace.contains("\"main\""));
+        assert!(trace.contains("\"worker-1\""));
+        assert!(trace.contains("thread_name"));
+    }
+
+    #[test]
+    fn stats_table_renders_all_sections() {
+        let t = Telemetry::enabled();
+        drop(t.span(LANE_MAIN, || "parse".into()));
+        t.add_counters(&Counters {
+            members_dead: 3,
+            ..Default::default()
+        });
+        t.update_stats(|s| {
+            s.engine = "summary".into();
+            s.jobs = 8;
+        });
+        let table = t.render_stats();
+        for needle in [
+            "phase spans",
+            "deterministic counters",
+            "execution stats",
+            "members_dead",
+            "summary",
+            "parse",
+        ] {
+            assert!(table.contains(needle), "missing {needle:?} in:\n{table}");
+        }
+    }
+}

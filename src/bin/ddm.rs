@@ -1,27 +1,99 @@
 //! `ddm` — command-line driver for the dead-data-member detector.
 //!
-//! ```text
-//! ddm <file.cpp> [options]
-//!
-//! options:
-//!   --callgraph <rta|pta|cha|everything>   call-graph builder (default rta)
-//!   --engine <summary|walk>            analysis engine: walk-once summaries
-//!                                      (default) or the re-walking reference
-//!   --jobs <N>                         shard the liveness scan across N worker
-//!                                      threads (deterministic; default 1)
-//!   --library <Class,Class,...>        classes whose source is unavailable (§3.3)
-//!   --sizeof-conservative              treat sizeof conservatively (§3.2; default: ignore)
-//!   --unsafe-downcasts                 treat down-casts as unsafe (default: assume verified)
-//!   --run                              execute the program and print its output
-//!   --profile                          execute and print the Table-2 style heap profile
-//!   --eliminate <out.cpp>              write transformed source with dead members removed
-//!   --layout                           print the object layout of every class
-//! ```
+//! Run `ddm --help` for the flag list; the usage text is generated from
+//! the single [`FLAGS`] table below, so the help, the docs, and the
+//! parser cannot drift apart.
 
-use dead_data_members::analysis::{eliminate, AnalysisConfig, AnalysisPipeline, Engine, SizeofPolicy};
+use dead_data_members::analysis::{
+    eliminate, explain, AnalysisConfig, AnalysisPipeline, Engine, SizeofPolicy,
+};
 use dead_data_members::callgraph::Algorithm;
 use dead_data_members::dynamic::{profile_trace, Interpreter, RunConfig};
+use dead_data_members::telemetry::Telemetry;
 use std::process::ExitCode;
+
+/// The flag table: `(flag, value placeholder, help)`. Every flag the
+/// parser accepts has exactly one row here, and the `--help` text is
+/// rendered from it.
+const FLAGS: &[(&str, &str, &str)] = &[
+    (
+        "--callgraph",
+        "<rta|pta|cha|everything>",
+        "call-graph builder (default rta)",
+    ),
+    (
+        "--engine",
+        "<summary|walk>",
+        "analysis engine: walk-once summaries (default) or the re-walking reference",
+    ),
+    (
+        "--jobs",
+        "<N>",
+        "shard the liveness scan across N worker threads (deterministic; default 1)",
+    ),
+    (
+        "--library",
+        "<Class,Class,...>",
+        "classes whose source is unavailable (§3.3)",
+    ),
+    (
+        "--sizeof-conservative",
+        "",
+        "treat sizeof conservatively (§3.2; default: ignore)",
+    ),
+    (
+        "--unsafe-downcasts",
+        "",
+        "treat down-casts as unsafe (default: assume verified)",
+    ),
+    ("--run", "", "execute the program and print its output"),
+    (
+        "--profile",
+        "",
+        "execute and print the Table-2 style heap profile",
+    ),
+    (
+        "--eliminate",
+        "<out.cpp>",
+        "write transformed source with dead members removed",
+    ),
+    ("--layout", "", "print the object layout of every class"),
+    (
+        "--stats",
+        "",
+        "print phase spans, deterministic counters, and execution stats to stderr",
+    ),
+    (
+        "--trace-out",
+        "<trace.json>",
+        "write a Chrome trace-event JSON of the run (one lane per worker)",
+    ),
+    (
+        "--explain",
+        "<Class::member>",
+        "print why the member is live/dead/unclassifiable instead of the report",
+    ),
+    ("--help", "", "show this help"),
+];
+
+/// The usage text, rendered from [`FLAGS`].
+fn usage() -> String {
+    let mut out = String::from("usage: ddm <file.cpp> [options]\n\noptions:\n");
+    let width = FLAGS
+        .iter()
+        .map(|(name, arg, _)| name.len() + if arg.is_empty() { 0 } else { arg.len() + 1 })
+        .max()
+        .unwrap_or(0);
+    for (name, arg, help) in FLAGS {
+        let left = if arg.is_empty() {
+            (*name).to_string()
+        } else {
+            format!("{name} {arg}")
+        };
+        out.push_str(&format!("  {left:<width$}   {help}\n"));
+    }
+    out
+}
 
 struct Options {
     file: String,
@@ -35,6 +107,9 @@ struct Options {
     profile: bool,
     layout: bool,
     eliminate_to: Option<String>,
+    stats: bool,
+    trace_out: Option<String>,
+    explain_spec: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -51,6 +126,9 @@ fn parse_args() -> Result<Options, String> {
         profile: false,
         layout: false,
         eliminate_to: None,
+        stats: false,
+        trace_out: None,
+        explain_spec: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -94,6 +172,14 @@ fn parse_args() -> Result<Options, String> {
             "--eliminate" => {
                 opts.eliminate_to = Some(args.next().ok_or("--eliminate needs a path")?);
             }
+            "--stats" => opts.stats = true,
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+            }
+            "--explain" => {
+                opts.explain_spec =
+                    Some(args.next().ok_or("--explain needs a Class::member spec")?);
+            }
             "--help" | "-h" => return Err("help".to_string()),
             other if opts.file.is_empty() && !other.starts_with('-') => {
                 opts.file = other.to_string();
@@ -114,13 +200,34 @@ fn main() -> ExitCode {
             if msg != "help" {
                 eprintln!("error: {msg}\n");
             }
-            eprintln!("usage: ddm <file.cpp> [--callgraph rta|pta|cha|everything] [--library A,B]");
-            eprintln!("           [--engine summary|walk] [--jobs N] [--sizeof-conservative] [--unsafe-downcasts]");
-            eprintln!("           [--run] [--profile] [--layout] [--eliminate out.cpp]");
+            eprint!("{}", usage());
             return ExitCode::from(2);
         }
     };
 
+    // Telemetry is only collected when something will consume it; the
+    // disabled handle adds no allocation to the analysis hot paths.
+    let telemetry = if opts.stats || opts.trace_out.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+
+    let code = run(&opts, &telemetry);
+
+    if opts.stats {
+        eprint!("{}", telemetry.render_stats());
+    }
+    if let Some(path) = &opts.trace_out {
+        if let Err(e) = std::fs::write(path, telemetry.chrome_trace_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    code
+}
+
+fn run(opts: &Options, telemetry: &Telemetry) -> ExitCode {
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {
@@ -138,12 +245,13 @@ fn main() -> ExitCode {
         assume_safe_downcasts: !opts.unsafe_downcasts,
         library_classes: opts.library.iter().cloned().collect(),
     };
-    let pipeline = match AnalysisPipeline::with_config_engine(
+    let pipeline = match AnalysisPipeline::with_config_telemetry(
         &source,
         config,
         opts.algorithm,
         opts.jobs,
         opts.engine,
+        telemetry,
     ) {
         Ok(p) => p,
         Err(e) => {
@@ -152,6 +260,23 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(spec) = &opts.explain_spec {
+        // Provenance instead of the report.
+        match explain(pipeline.program(), pipeline.callgraph(), pipeline.liveness(), spec) {
+            Ok(text) => {
+                print!("{text}");
+                return ExitCode::SUCCESS;
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report_span = telemetry.span(dead_data_members::telemetry::LANE_MAIN, || {
+        "report".to_string()
+    });
     let report = pipeline.report();
     println!("{report}");
     println!(
@@ -160,6 +285,7 @@ fn main() -> ExitCode {
         pipeline.callgraph().reachable_count(),
         pipeline.callgraph().edge_count()
     );
+    drop(report_span);
 
     if opts.layout {
         use dead_data_members::hierarchy::LayoutEngine;
@@ -226,9 +352,9 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Some(out) = opts.eliminate_to {
+    if let Some(out) = &opts.eliminate_to {
         let result = eliminate(&pipeline);
-        if let Err(e) = std::fs::write(&out, &result.source) {
+        if let Err(e) = std::fs::write(out, &result.source) {
             eprintln!("error: cannot write {out}: {e}");
             return ExitCode::FAILURE;
         }

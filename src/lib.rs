@@ -13,7 +13,9 @@
 //! * [`analysis`] — the paper's dead-data-member detection algorithm;
 //! * [`dynamic`] — interpreter and heap profiler for the dynamic
 //!   measurements (object space, dead-member space, high-water marks);
-//! * [`benchmarks`] — the benchmark suite reproducing the paper's Table 1.
+//! * [`benchmarks`] — the benchmark suite reproducing the paper's Table 1;
+//! * [`telemetry`] — phase spans, deterministic counters, Chrome-trace
+//!   export for observing analysis runs.
 //!
 //! # Examples
 //!
@@ -43,13 +45,14 @@ pub use ddm_core as analysis;
 pub use ddm_cppfront as cppfront;
 pub use ddm_dynamic as dynamic;
 pub use ddm_hierarchy as hierarchy;
+pub use ddm_telemetry as telemetry;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
     pub use ddm_core::{
-        AnalysisConfig, AnalysisPipeline, DeadMemberAnalysis, Engine, Liveness, Report,
-        SizeofPolicy,
+        explain, AnalysisConfig, AnalysisPipeline, DeadMemberAnalysis, Engine, Liveness, Origin,
+        Report, SizeofPolicy,
     };
     pub use ddm_cppfront::{parse, TranslationUnit};
     pub use ddm_dynamic::{HeapProfile, Interpreter, RunConfig};
@@ -57,4 +60,5 @@ pub mod prelude {
         body_walk_count, ClassId, FuncId, LayoutEngine, MemberLookup, MemberRef, Program,
         ProgramSummary,
     };
+    pub use ddm_telemetry::{Counters, ExecStats, Telemetry};
 }

@@ -95,3 +95,141 @@ fn parse_errors_are_reported_not_panicked() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("error:"), "{stderr}");
 }
+
+#[test]
+fn help_lists_every_flag_from_the_table() {
+    let out = ddm().arg("--help").output().expect("run ddm");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for flag in [
+        "--callgraph",
+        "--engine",
+        "--jobs",
+        "--library",
+        "--sizeof-conservative",
+        "--unsafe-downcasts",
+        "--run",
+        "--profile",
+        "--eliminate",
+        "--layout",
+        "--stats",
+        "--trace-out",
+        "--explain",
+    ] {
+        assert!(stderr.contains(flag), "help is missing {flag}:\n{stderr}");
+    }
+}
+
+#[test]
+fn stats_flag_prints_sections_on_stderr_only() {
+    let src = write_temp("stats", SAMPLE);
+    let out = ddm().arg(&src).arg("--stats").output().expect("run ddm");
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for section in [
+        "== phase spans ==",
+        "== deterministic counters ==",
+        "== execution stats ==",
+    ] {
+        assert!(stderr.contains(section), "{stderr}");
+    }
+    // The report itself stays on stdout, uncontaminated.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DEAD dead"), "{stdout}");
+    assert!(!stdout.contains("== phase spans =="), "{stdout}");
+}
+
+#[test]
+fn trace_out_writes_valid_chrome_json_with_worker_lanes() {
+    let deltablue = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/crates/benchmarks/programs/deltablue.cpp"
+    );
+    let trace_path =
+        std::env::temp_dir().join(format!("ddm_cli_trace_{}.json", std::process::id()));
+    let out = ddm()
+        .arg(deltablue)
+        .arg("--jobs")
+        .arg("8")
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .output()
+        .expect("run ddm");
+    assert!(out.status.success(), "{out:?}");
+    let trace = std::fs::read_to_string(&trace_path).expect("read trace");
+    dead_data_members::telemetry::json::validate(&trace)
+        .unwrap_or_else(|e| panic!("trace is not valid JSON: {e}"));
+    for lane in 1..=8 {
+        assert!(
+            trace.contains(&format!("worker-{lane}")),
+            "trace lacks a lane for worker {lane}"
+        );
+    }
+    assert!(trace.contains("\"ph\": \"X\""), "no complete events in trace");
+}
+
+#[test]
+fn explain_live_member_prints_witness_chain() {
+    let src = write_temp("explain_live", SAMPLE);
+    let out = ddm()
+        .arg(&src)
+        .arg("--explain")
+        .arg("A::live")
+        .output()
+        .expect("run ddm");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("A::live: LIVE (read)"), "{stdout}");
+    assert!(stdout.contains("call chain: main"), "{stdout}");
+    // The explanation replaces the report.
+    assert!(!stdout.contains("dead data members:"), "{stdout}");
+}
+
+#[test]
+fn explain_dead_member_says_dead() {
+    let src = write_temp("explain_dead", SAMPLE);
+    let out = ddm()
+        .arg(&src)
+        .arg("--explain")
+        .arg("A::dead")
+        .output()
+        .expect("run ddm");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("A::dead: DEAD"), "{stdout}");
+}
+
+#[test]
+fn explain_unknown_member_exits_2() {
+    let src = write_temp("explain_unknown", SAMPLE);
+    let out = ddm()
+        .arg(&src)
+        .arg("--explain")
+        .arg("A::nonexistent")
+        .output()
+        .expect("run ddm");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no data member"), "{stderr}");
+}
+
+#[test]
+fn explain_is_identical_across_engines_via_cli() {
+    let src = write_temp("explain_engines", SAMPLE);
+    let mut outputs = Vec::new();
+    for engine in ["walk", "summary"] {
+        let out = ddm()
+            .arg(&src)
+            .arg("--engine")
+            .arg(engine)
+            .arg("--explain")
+            .arg("A::live")
+            .output()
+            .expect("run ddm");
+        assert!(out.status.success(), "{out:?}");
+        outputs.push(out.stdout);
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "explain output differs between engines"
+    );
+}

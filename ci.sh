@@ -45,8 +45,22 @@ cargo run --release --bin ddm -- crates/benchmarks/programs/deltablue.cpp \
 cargo run --release --bin ddm -- crates/benchmarks/programs/idl.cpp \
     --explain Emitter::last_line | grep -q 'Emitter::last_line: DEAD'
 
+echo "== delta worklist: equivalence with the pre-change sweep =="
+cargo test --release --test worklist_equivalence
+
+echo "== delta worklist: counter determinism across jobs x engines =="
+# Full-counter bit-equality (includes cg_worklist_pops / cg_ready_drains)
+# is part of telemetry_determinism above; this pins the worklist-specific
+# invariants (pops > 0, per-round delta sizes engine/jobs-invariant).
+cargo test --release --test worklist_equivalence worklist_telemetry_is_identical_across_engines_and_jobs
+
 echo "== bench suite smoke (non-gating on time) =="
 cargo run --release -p ddm-bench --bin bench_suite -- --json --samples 3 > /dev/null
 test -s BENCH_suite.json
+
+echo "== scale bench smoke (gating: wall-clock ceiling enforced in-binary) =="
+cargo run --release -p ddm-bench --bin bench_scale -- --smoke --json > /dev/null
+test -s BENCH_scale_smoke.json
+rm -f BENCH_scale_smoke.json
 
 echo "ci.sh: all gates passed"

@@ -1,0 +1,263 @@
+//! Scaling benchmark for the delta-driven call-graph fixpoint: generated
+//! programs far beyond the paper suite's 31 functions (up to ~22k), with
+//! deep virtual hierarchies and long call ladders that force the fixpoint
+//! through hundreds of rounds.
+//!
+//! For each size the driver times call-graph construction under both
+//! engines (walk and summary replay), captures the delta-worklist
+//! telemetry (rounds, per-round delta sizes, worklist pops, readied-site
+//! drains), and fits the scaling exponent between consecutive sizes:
+//! `ln(t2/t1) / ln(n2/n1)`. A full-set round sweep is Θ(rounds × n) —
+//! with rounds ≈ rungs growing linearly in `n`, that is quadratic
+//! (exponent ≈ 2). The delta worklist pops each function once, so the
+//! exponent stays well under 2.
+//!
+//! ```text
+//! bench_scale [--json] [--samples N] [--smoke]
+//! ```
+//!
+//! `--json` writes `BENCH_scale.json`. `--smoke` runs only the smallest
+//! size with one sample and fails if it exceeds a wall-clock ceiling —
+//! the CI gate.
+
+use ddm_bench::timing;
+use ddm_benchmarks::generator::{generate_scale, scale_function_count, ScaleConfig};
+use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
+use ddm_hierarchy::{MemberLookup, Program, ProgramSummary};
+use ddm_telemetry::Telemetry;
+use std::time::{Duration, Instant};
+
+/// Wall-clock ceiling for `--smoke` (generation + parse + both engines).
+const SMOKE_CEILING: Duration = Duration::from_secs(30);
+
+struct SizeResult {
+    name: &'static str,
+    config: ScaleConfig,
+    functions: usize,
+    walk_cg: Duration,
+    summary_cg: Duration,
+    rounds: u64,
+    worklist_pops: u64,
+    ready_drains: u64,
+    deltas: Vec<u64>,
+}
+
+fn sizes(smoke: bool) -> Vec<(&'static str, ScaleConfig)> {
+    let mut v = vec![(
+        "small",
+        ScaleConfig {
+            chains: 4,
+            depth: 25,
+            methods_per_class: 4,
+            members_per_class: 3,
+            rungs: 250,
+        },
+    )];
+    if !smoke {
+        v.push((
+            "medium",
+            ScaleConfig {
+                chains: 8,
+                depth: 50,
+                methods_per_class: 4,
+                members_per_class: 3,
+                rungs: 500,
+            },
+        ));
+        v.push((
+            "large",
+            ScaleConfig {
+                chains: 16,
+                depth: 100,
+                methods_per_class: 4,
+                members_per_class: 3,
+                rungs: 1000,
+            },
+        ));
+    }
+    v
+}
+
+fn measure(name: &'static str, config: ScaleConfig, samples: usize) -> SizeResult {
+    let src = generate_scale(&config, 42);
+    let tu = ddm_cppfront::parse(&src).expect("scale program parses");
+    let program = Program::build(&tu).expect("scale program resolves");
+    assert_eq!(program.function_count(), scale_function_count(&config));
+    let options = CallGraphOptions {
+        algorithm: Algorithm::Rta,
+        ..Default::default()
+    };
+
+    let (walk_cg, _) = timing::time(samples, || {
+        let lookup = MemberLookup::new(&program);
+        CallGraph::build(&program, &lookup, &options).unwrap()
+    });
+    let (summary_cg, _) = timing::time(samples, || {
+        let summary = ProgramSummary::build(&program, false, 1);
+        CallGraph::build_from_summary(&program, &summary, &options).unwrap()
+    });
+
+    // Deterministic worklist telemetry: capture once per engine and
+    // insist the two engines agree — the delta schedule is shared, so
+    // pops, drains, and per-round delta sizes must be identical.
+    let walk_tel = Telemetry::enabled();
+    let lookup = MemberLookup::new(&program);
+    let walked = CallGraph::build_with(&program, &lookup, &options, &walk_tel).unwrap();
+    let summary_tel = Telemetry::enabled();
+    let summary = ProgramSummary::build(&program, false, 1);
+    let replayed =
+        CallGraph::build_from_summary_with(&program, &summary, &options, &summary_tel).unwrap();
+    assert_eq!(walked, replayed, "{name}: engines disagree on the graph");
+    let wc = walk_tel.counters();
+    let sc = summary_tel.counters();
+    assert_eq!(
+        (wc.cg_worklist_pops, wc.cg_ready_drains),
+        (sc.cg_worklist_pops, sc.cg_ready_drains),
+        "{name}: worklist counters differ across engines"
+    );
+    let ws = walk_tel.stats();
+    let ss = summary_tel.stats();
+    assert_eq!(
+        ws.cg_round_deltas, ss.cg_round_deltas,
+        "{name}: per-round delta sizes differ across engines"
+    );
+
+    SizeResult {
+        name,
+        config,
+        functions: program.function_count(),
+        walk_cg,
+        summary_cg,
+        rounds: ss.callgraph_rounds,
+        worklist_pops: sc.cg_worklist_pops,
+        ready_drains: sc.cg_ready_drains,
+        deltas: ss.cg_round_deltas,
+    }
+}
+
+/// log(t2/t1) / log(n2/n1): the empirical scaling exponent between two
+/// measurements.
+fn exponent(small: (usize, Duration), large: (usize, Duration)) -> f64 {
+    let dt = (large.1.as_secs_f64() / small.1.as_secs_f64().max(f64::EPSILON)).ln();
+    let dn = (large.0 as f64 / small.0 as f64).ln();
+    dt / dn
+}
+
+fn render_json(results: &[SizeResult], samples: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"suite\": \"ddm-benchmarks scale generator\",\n");
+    out.push_str("  \"algorithm\": \"rta\",\n");
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str("  \"sizes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let c = &r.config;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"functions\": {}, \"config\": {{\"chains\": {}, \"depth\": {}, \"methods_per_class\": {}, \"members_per_class\": {}, \"rungs\": {}}},\n",
+            r.name, r.functions, c.chains, c.depth, c.methods_per_class, c.members_per_class, c.rungs
+        ));
+        out.push_str(&format!(
+            "     \"walk_callgraph_ns\": {}, \"summary_callgraph_ns\": {},\n",
+            r.walk_cg.as_nanos(),
+            r.summary_cg.as_nanos()
+        ));
+        let max_delta = r.deltas.iter().copied().max().unwrap_or(0);
+        let sum_delta: u64 = r.deltas.iter().sum();
+        out.push_str(&format!(
+            "     \"rounds\": {}, \"worklist_pops\": {}, \"ready_drains\": {}, \"delta_sum\": {sum_delta}, \"delta_max\": {max_delta}}}",
+            r.rounds, r.worklist_pops, r.ready_drains
+        ));
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    if results.len() >= 2 {
+        out.push_str(",\n  \"scaling_exponents\": [\n");
+        for w in results.windows(2) {
+            let walk = exponent(
+                (w[0].functions, w[0].walk_cg),
+                (w[1].functions, w[1].walk_cg),
+            );
+            let summary = exponent(
+                (w[0].functions, w[0].summary_cg),
+                (w[1].functions, w[1].summary_cg),
+            );
+            out.push_str(&format!(
+                "    {{\"from\": \"{}\", \"to\": \"{}\", \"walk\": {walk:.3}, \"summary\": {summary:.3}}}{}",
+                w[0].name,
+                w[1].name,
+                if w[1].name == results.last().unwrap().name { "\n" } else { ",\n" }
+            ));
+        }
+        out.push_str("  ]\n");
+    } else {
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let samples = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(if smoke { 1 } else { 3 });
+
+    let started = Instant::now();
+    let results: Vec<SizeResult> = sizes(smoke)
+        .into_iter()
+        .map(|(name, config)| measure(name, config, samples))
+        .collect();
+
+    println!(
+        "{:<8} {:>8} {:>8} {:>14} {:>16} {:>10} {:>10}",
+        "size", "funcs", "rounds", "walk cg", "summary cg", "pops", "drains"
+    );
+    for r in &results {
+        println!(
+            "{:<8} {:>8} {:>8} {:>14.1?} {:>16.1?} {:>10} {:>10}",
+            r.name, r.functions, r.rounds, r.walk_cg, r.summary_cg, r.worklist_pops, r.ready_drains
+        );
+    }
+    for w in results.windows(2) {
+        println!(
+            "exponent {} -> {}: walk {:.3}, summary {:.3}  (full-sweep baseline ~2)",
+            w[0].name,
+            w[1].name,
+            exponent(
+                (w[0].functions, w[0].walk_cg),
+                (w[1].functions, w[1].walk_cg)
+            ),
+            exponent(
+                (w[0].functions, w[0].summary_cg),
+                (w[1].functions, w[1].summary_cg)
+            ),
+        );
+    }
+
+    if json {
+        // The smoke run measures one size only — keep it away from the
+        // committed full-sweep BENCH_scale.json.
+        let path = if smoke {
+            "BENCH_scale_smoke.json"
+        } else {
+            "BENCH_scale.json"
+        };
+        std::fs::write(path, render_json(&results, samples)).expect("write scale JSON");
+        println!("wrote {path}");
+    }
+
+    if smoke {
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < SMOKE_CEILING,
+            "scale smoke exceeded its wall-clock ceiling: {elapsed:.1?} >= {SMOKE_CEILING:?}"
+        );
+        println!("smoke OK in {elapsed:.1?} (ceiling {SMOKE_CEILING:?})");
+    }
+}

@@ -184,6 +184,135 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> String {
     out
 }
 
+/// Shape parameters for the large-program scale mode
+/// ([`generate_scale`]): a few independent deep virtual hierarchies plus
+/// long call ladders that force the call-graph fixpoint through many
+/// rounds — the workload the delta worklist engine exists for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleConfig {
+    /// Independent class hierarchies (each a linear chain).
+    pub chains: usize,
+    /// Classes per chain; every class overrides every virtual method of
+    /// its base, so dispatch through the chain root has `depth`
+    /// candidate targets.
+    pub depth: usize,
+    /// Virtual methods declared by each chain root (and overridden at
+    /// every depth).
+    pub methods_per_class: usize,
+    /// Data members per class.
+    pub members_per_class: usize,
+    /// Call-ladder length per chain: `step{c}_{i}` calls
+    /// `step{c}_{i+1}`, so reachability is discovered one rung per
+    /// fixpoint round — the old full-sweep engines re-walked the entire
+    /// reachable set each of those rounds (quadratic), the delta engine
+    /// processes each rung once.
+    pub rungs: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            chains: 4,
+            depth: 25,
+            methods_per_class: 4,
+            members_per_class: 3,
+            rungs: 250,
+        }
+    }
+}
+
+/// The number of functions [`generate_scale`] emits for `config`:
+/// `chains × (depth × methods_per_class + rungs)` plus `main`.
+pub fn scale_function_count(config: &ScaleConfig) -> usize {
+    config.chains * (config.depth * config.methods_per_class + config.rungs) + 1
+}
+
+/// Generates a large program from `config` and `seed` (deterministic,
+/// like [`generate`]). Targets the ~10k–50k function range the paper's
+/// 31-function suite cannot exercise.
+///
+/// Each chain `c` is a linear hierarchy `S{c}_0 .. S{c}_{depth-1}` whose
+/// every class overrides every virtual method, plus a call ladder
+/// `step{c}_0 .. step{c}_{rungs-1}`. Rung `i` instantiates the class at
+/// depth `i × (depth-1) / rungs`, dispatches a virtual method through a
+/// chain-root pointer, and calls the next rung — so dispatch sites are
+/// processed long before the deeper receiver classes exist, exercising
+/// the pending-dispatch parking/release machinery at scale, while the
+/// ladder stretches the fixpoint over ~`rungs` rounds. The ladder stops
+/// short of the deepest class, so (for `depth > 1`) RTA must prune its
+/// overrides.
+pub fn generate_scale(config: &ScaleConfig, seed: u64) -> String {
+    let mut rng = Rng::seed_from_u64(seed);
+    let chains = config.chains.max(1);
+    let depth = config.depth.max(1);
+    let methods = config.methods_per_class.max(1);
+    let members = config.members_per_class.max(1);
+    let rungs = config.rungs.max(1);
+
+    let mut out = String::with_capacity(scale_function_count(config) * 96);
+    let _ = writeln!(out, "// generated (scale): seed={seed} config={config:?}");
+
+    for c in 0..chains {
+        for d in 0..depth {
+            let head = if d == 0 {
+                format!("class S{c}_0 {{")
+            } else {
+                format!("class S{c}_{d} : public S{c}_{} {{", d - 1)
+            };
+            let _ = writeln!(out, "{head}\npublic:");
+            for j in 0..members {
+                let _ = writeln!(out, "    int v{c}_{d}_{j};");
+            }
+            for m in 0..methods {
+                // Each method reads a seed-chosen subset of the class's
+                // members; members outside every subset stay dead.
+                let r1 = rng.gen_range(0..members);
+                let r2 = rng.gen_range(0..members);
+                let _ = writeln!(
+                    out,
+                    "    virtual int get{m}() {{ return v{c}_{d}_{r1} + v{c}_{d}_{r2} + {d}; }}"
+                );
+            }
+            let _ = writeln!(out, "}};");
+        }
+        let _ = writeln!(out);
+    }
+
+    for c in 0..chains {
+        for i in 0..rungs {
+            // Instantiate progressively deeper classes along the ladder,
+            // so earlier rungs' dispatch sites park candidates that later
+            // rungs' instantiations release.
+            let d = i * (depth - 1) / rungs;
+            let m = rng.gen_range(0..methods);
+            let _ = writeln!(out, "int step{c}_{i}() {{");
+            let _ = writeln!(out, "    S{c}_{d} x;");
+            let _ = writeln!(out, "    S{c}_0* p = &x;");
+            let _ = writeln!(out, "    int acc = p->get{m}();");
+            let _ = writeln!(
+                out,
+                "    acc = acc + x.v{c}_{d}_{};",
+                rng.gen_range(0..members)
+            );
+            if i + 1 < rungs {
+                let _ = writeln!(out, "    return acc + step{c}_{}();", i + 1);
+            } else {
+                let _ = writeln!(out, "    return acc;");
+            }
+            let _ = writeln!(out, "}}");
+        }
+        let _ = writeln!(out);
+    }
+
+    let _ = writeln!(out, "int main() {{");
+    let _ = writeln!(out, "    int total = 0;");
+    for c in 0..chains {
+        let _ = writeln!(out, "    total = total + step{c}_0();");
+    }
+    let _ = writeln!(out, "    return total & 127;\n}}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,5 +375,77 @@ mod tests {
             1,
         );
         assert!(large.len() > small.len() * 5);
+    }
+
+    #[test]
+    fn scale_generation_is_deterministic() {
+        let c = ScaleConfig {
+            chains: 2,
+            depth: 6,
+            methods_per_class: 2,
+            members_per_class: 2,
+            rungs: 12,
+        };
+        assert_eq!(generate_scale(&c, 3), generate_scale(&c, 3));
+        assert_ne!(generate_scale(&c, 3), generate_scale(&c, 4));
+    }
+
+    #[test]
+    fn scale_programs_analyze_with_predicted_function_count() {
+        let c = ScaleConfig {
+            chains: 2,
+            depth: 8,
+            methods_per_class: 3,
+            members_per_class: 2,
+            rungs: 20,
+        };
+        let src = generate_scale(&c, 11);
+        let run = AnalysisPipeline::from_source(&src)
+            .unwrap_or_else(|e| panic!("scale program rejected: {e}"));
+        assert_eq!(
+            run.program().function_count(),
+            scale_function_count(&c),
+            "scale_function_count must predict the emitted program"
+        );
+        // The ladder never instantiates past depth (rungs-1)*depth/rungs,
+        // so under RTA the deepest overrides must be pruned while the
+        // ladder itself is fully reachable.
+        let reachable = run.callgraph().reachable().count();
+        assert!(reachable < scale_function_count(&c));
+        assert!(reachable > c.chains * c.rungs);
+    }
+
+    #[test]
+    fn scale_programs_agree_across_engines() {
+        use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
+        use ddm_hierarchy::{MemberLookup, Program, ProgramSummary};
+
+        let c = ScaleConfig {
+            chains: 2,
+            depth: 10,
+            methods_per_class: 2,
+            members_per_class: 2,
+            rungs: 30,
+        };
+        let src = generate_scale(&c, 5);
+        let program =
+            Program::build(&ddm_cppfront::parse(&src).expect("parse")).expect("program");
+        let lookup = MemberLookup::new(&program);
+        for algorithm in [
+            Algorithm::Everything,
+            Algorithm::Cha,
+            Algorithm::Rta,
+            Algorithm::Pta,
+        ] {
+            let options = CallGraphOptions {
+                algorithm,
+                ..Default::default()
+            };
+            let summary = ProgramSummary::build(&program, algorithm == Algorithm::Pta, 1);
+            let walked = CallGraph::build(&program, &lookup, &options).expect("walk");
+            let replayed =
+                CallGraph::build_from_summary(&program, &summary, &options).expect("replay");
+            assert_eq!(walked, replayed, "{algorithm:?}");
+        }
     }
 }

@@ -20,16 +20,29 @@
 //! libraries (§3.3): functions whose address is taken in reachable code
 //! are reachable, and application overrides of virtual methods declared in
 //! user-designated *library classes* are reachable (callbacks).
+//!
+//! Both propagating builders (the AST-walking one and the summary
+//! replayer) run the same **delta-driven worklist fixpoint**
+//! ([`run_fixpoint`]): each round processes only the functions made newly
+//! reachable in the previous round plus the dispatch sites readied by
+//! newly instantiated receiver classes, instead of re-sweeping the whole
+//! reachable set. The schedule reproduces the historical full-sweep round
+//! structure exactly (see DESIGN.md §5d), so the resulting graphs — and
+//! every schedule-sensitive decision such as the no-candidate
+//! static-declaration fallback — are bit-identical to the old engines and
+//! to each other. Fixpoint state is dense: [`FuncBitSet`]/[`ClassBitSet`]
+//! membership, per-function sorted edge rows frozen into a CSR adjacency.
 
 pub use ddm_hierarchy::pta;
 
 use ddm_hierarchy::{
-    resolve_ctor, walk_function, walk_globals, CallEvent, CallTarget, CgStep, ClassId, DeleteEvent,
-    EventVisitor, FnSummary, FuncId, InstantiationEvent, MemberLookup, Program, ProgramSummary,
-    TypeError,
+    resolve_ctor, walk_function, walk_globals, CallEvent, CallTarget, CgStep, ClassBitSet, ClassId,
+    DeleteEvent, EventVisitor, FnSummary, FuncBitSet, FuncId, InstantiationEvent, MemberLookup,
+    Program, ProgramSummary, TypeError,
 };
-use ddm_telemetry::{Telemetry, LANE_MAIN};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use ddm_telemetry::{Counters, Telemetry, LANE_MAIN};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
 
 /// Which call-graph construction algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -69,14 +82,24 @@ pub struct CallGraphOptions {
     pub library_classes: HashSet<ClassId>,
 }
 
-/// The computed call graph.
+/// The computed call graph, frozen into dense index-keyed storage:
+/// sorted id vectors for the reachable/instantiated/address-taken sets
+/// (with bitsets retained for O(1) membership) and a CSR adjacency for
+/// the edges. All iteration orders match the historical tree-based
+/// representation (ascending ids), so downstream reports, shard
+/// assignments, and `--explain` witness paths are byte-identical.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CallGraph {
     algorithm: Algorithm,
-    reachable: BTreeSet<FuncId>,
-    instantiated: BTreeSet<ClassId>,
-    edges: BTreeMap<FuncId, BTreeSet<FuncId>>,
-    address_taken: BTreeSet<FuncId>,
+    reachable: Vec<FuncId>,
+    reachable_set: FuncBitSet,
+    instantiated: Vec<ClassId>,
+    instantiated_set: ClassBitSet,
+    /// CSR row starts: `edge_targets[edge_offsets[f] .. edge_offsets[f+1]]`
+    /// are the callees of function `f`, sorted ascending.
+    edge_offsets: Vec<u32>,
+    edge_targets: Vec<FuncId>,
+    address_taken: Vec<FuncId>,
 }
 
 impl CallGraph {
@@ -111,8 +134,9 @@ impl CallGraph {
         Self::build_with(program, lookup, options, &Telemetry::disabled())
     }
 
-    /// [`CallGraph::build`] with telemetry: each fixpoint round is
-    /// spanned, and the round count lands in the execution stats.
+    /// [`CallGraph::build`] with telemetry: each delta batch is spanned,
+    /// per-round delta sizes and the round count land in the execution
+    /// stats, and worklist pops/drains in the deterministic counters.
     ///
     /// # Errors
     ///
@@ -134,14 +158,25 @@ impl CallGraph {
     fn build_everything(program: &Program) -> CallGraph {
         // Maximal: every function (even body-less declarations, which the
         // propagating builders may also mark as dispatch targets).
-        let reachable = program.functions().map(|(id, _)| id).collect();
-        let instantiated = program.classes().map(|(id, _)| id).collect();
+        let reachable: Vec<FuncId> = program.functions().map(|(id, _)| id).collect();
+        let mut reachable_set = FuncBitSet::with_capacity(program.function_count());
+        for &f in &reachable {
+            reachable_set.insert(f);
+        }
+        let instantiated: Vec<ClassId> = program.classes().map(|(id, _)| id).collect();
+        let mut instantiated_set = ClassBitSet::with_capacity(program.class_count());
+        for &c in &instantiated {
+            instantiated_set.insert(c);
+        }
         CallGraph {
             algorithm: Algorithm::Everything,
             reachable,
+            reachable_set,
             instantiated,
-            edges: BTreeMap::new(),
-            address_taken: BTreeSet::new(),
+            instantiated_set,
+            edge_offsets: vec![0; program.function_count() + 1],
+            edge_targets: Vec::new(),
+            address_taken: Vec::new(),
         }
     }
 
@@ -151,85 +186,64 @@ impl CallGraph {
         options: &CallGraphOptions,
         telemetry: &Telemetry,
     ) -> Result<CallGraph, TypeError> {
-        let mut state = Builder {
-            program,
-            lookup,
-            cha: options.algorithm == Algorithm::Cha,
-            pta: options.algorithm == Algorithm::Pta,
-            pointee_cache: HashMap::new(),
-            reachable: BTreeSet::new(),
-            instantiated: BTreeSet::new(),
-            edges: BTreeMap::new(),
-            address_taken: BTreeSet::new(),
-            pending_fp_calls: BTreeSet::new(),
-        };
+        let roots = propagation_roots(program, options);
+        let mut state = PropState::new(program, options.algorithm == Algorithm::Cha, roots);
+        let pta = options.algorithm == Algorithm::Pta;
+        let mut pointee_cache = HashMap::new();
 
-        state.reachable = propagation_roots(program, options);
-
-        // Global initializers always run.
+        // Global initializers always run; their dispatch decisions are
+        // frozen here (register = false), before any function round.
         {
             let mut visitor = EventSink {
                 caller: None,
+                register: false,
+                lookup,
+                pta,
+                pointee_cache: &mut pointee_cache,
                 state: &mut state,
             };
             walk_globals(program, lookup, &mut visitor)?;
         }
 
-        // Iterate to a fixpoint: walking a function may make more functions
-        // reachable or more classes instantiated, which in turn widens
-        // virtual dispatch at call sites inside already-walked functions.
-        let mut rounds: u64 = 0;
-        loop {
-            let before = (
-                state.reachable.len(),
-                state.instantiated.len(),
-                state.edge_total(),
-            );
-            let work: Vec<FuncId> = state.reachable.iter().copied().collect();
-            let round_span = telemetry.span(LANE_MAIN, || {
-                format!("callgraph round {rounds} ({} fns)", work.len())
-            });
-            rounds += 1;
-            for fid in work {
-                let mut visitor = EventSink {
-                    caller: Some(fid),
-                    state: &mut state,
-                };
-                walk_function(program, lookup, fid, &mut visitor)?;
-            }
-            state.resolve_function_pointer_calls();
-            drop(round_span);
-            if (
-                state.reachable.len(),
-                state.instantiated.len(),
-                state.edge_total(),
-            ) == before
-            {
-                break;
-            }
-        }
-        telemetry.update_stats(|s| s.callgraph_rounds = rounds);
+        let rounds = run_fixpoint(&mut state, telemetry, "callgraph", |st, fid| {
+            let mut visitor = EventSink {
+                caller: Some(fid),
+                register: true,
+                lookup,
+                pta,
+                pointee_cache: &mut pointee_cache,
+                state: st,
+            };
+            walk_function(program, lookup, fid, &mut visitor)
+        })?;
 
-        Ok(CallGraph {
-            algorithm: options.algorithm,
-            reachable: state.reachable,
-            instantiated: state.instantiated,
-            edges: state.edges,
-            address_taken: state.address_taken,
-        })
+        #[cfg(debug_assertions)]
+        verify_full_sweep(&mut state, |st, fid| {
+            let mut visitor = EventSink {
+                caller: Some(fid),
+                register: false,
+                lookup,
+                pta,
+                pointee_cache: &mut pointee_cache,
+                state: st,
+            };
+            walk_function(program, lookup, fid, &mut visitor)
+        })?;
+
+        state.flush_telemetry(telemetry, rounds, None);
+        Ok(state.freeze(options.algorithm))
     }
 
     /// Builds a call graph from precomputed walk-once function summaries
     /// instead of traversing ASTs.
     ///
     /// Produces a graph identical to [`CallGraph::build`] for the same
-    /// program and options: the fixpoint replays each function's
-    /// [`CgStep`]s exactly once, in the same round-structured schedule the
-    /// walking builder sweeps in, and widens already-replayed virtual
-    /// call and `delete` sites through a class-indexed pending-dispatch
-    /// worklist when their candidate receiver classes become
-    /// instantiated. For PTA graphs the summaries must have been built
-    /// with receiver refinement enabled
+    /// program and options: both builders drive the same delta worklist
+    /// schedule, replaying each function's [`CgStep`]s exactly once and
+    /// widening already-replayed virtual call and `delete` sites through
+    /// the class-indexed pending-dispatch worklist when their candidate
+    /// receiver classes become instantiated. For PTA graphs the summaries
+    /// must have been built with receiver refinement enabled
     /// (`ProgramSummary::build(program, true, jobs)`).
     ///
     /// # Errors
@@ -244,9 +258,9 @@ impl CallGraph {
         Self::build_from_summary_with(program, summary, options, &Telemetry::disabled())
     }
 
-    /// [`CallGraph::build_from_summary`] with telemetry: rounds are
-    /// spanned, and replay / worklist activity lands in the execution
-    /// stats.
+    /// [`CallGraph::build_from_summary`] with telemetry: delta batches
+    /// are spanned, and replay / worklist activity lands in the execution
+    /// stats and deterministic counters.
     ///
     /// # Errors
     ///
@@ -261,82 +275,29 @@ impl CallGraph {
         if options.algorithm == Algorithm::Everything {
             return Ok(Self::build_everything(program));
         }
-        let mut state = SummaryReplayer {
-            program,
-            cha: options.algorithm == Algorithm::Cha,
-            reachable: propagation_roots(program, options),
-            instantiated: BTreeSet::new(),
-            edges: BTreeMap::new(),
-            address_taken: BTreeSet::new(),
-            pending_fp_calls: BTreeSet::new(),
-            pending_dispatch: HashMap::new(),
-            ready: HashMap::new(),
-            replays: 0,
-            worklist_pushes: 0,
-        };
+        let roots = propagation_roots(program, options);
+        let mut state = PropState::new(program, options.algorithm == Algorithm::Cha, roots);
 
-        // Global initializers run once, before the sweep — their dispatch
-        // decisions are frozen at this point, exactly as in the walking
-        // builder, so they never register pending candidates.
-        state.replay(None, summary.globals()?, false);
+        // Global initializers replay once, before the rounds — their
+        // dispatch decisions are frozen at this point, exactly as in the
+        // walking builder, so they never register pending candidates.
+        let mut replays: u64 = 1;
+        replay_summary(&mut state, None, summary.globals()?, false);
 
-        // Round-structured replay of the walking builder's sweep: each
-        // round snapshots the reachable set and visits it in id order. A
-        // function's first visit replays its full summary (registering
-        // the dispatch candidates that are not yet instantiated); later
-        // visits only drain the edges that instantiations have readied
-        // for it — the work a re-walk would discover, without the walk.
-        let mut replayed = vec![false; program.function_count()];
-        let mut rounds: u64 = 0;
-        loop {
-            let before = (
-                state.reachable.len(),
-                state.instantiated.len(),
-                state.edge_total(),
-            );
-            let work: Vec<FuncId> = state.reachable.iter().copied().collect();
-            let round_span = telemetry.span(LANE_MAIN, || {
-                format!("callgraph replay round {rounds} ({} fns)", work.len())
-            });
-            rounds += 1;
-            for fid in work {
-                if !replayed[fid.index()] {
-                    replayed[fid.index()] = true;
-                    state.replay(Some(fid), summary.function(fid)?, true);
-                } else if let Some(widened) = state.ready.remove(&fid) {
-                    for t in widened {
-                        state.add_edge(Some(fid), t);
-                    }
-                }
-            }
-            state.resolve_function_pointer_calls();
-            drop(round_span);
-            if (
-                state.reachable.len(),
-                state.instantiated.len(),
-                state.edge_total(),
-            ) == before
-            {
-                break;
-            }
-        }
-        debug_assert!(
-            state.ready.is_empty(),
-            "every readied widening is drained before the fixpoint settles"
-        );
-        telemetry.update_stats(|s| {
-            s.callgraph_rounds = rounds;
-            s.summary_replays += state.replays;
-            s.worklist_pushes += state.worklist_pushes;
-        });
+        let rounds = run_fixpoint(&mut state, telemetry, "callgraph replay", |st, fid| {
+            replays += 1;
+            replay_summary(st, Some(fid), summary.function(fid)?, true);
+            Ok(())
+        })?;
 
-        Ok(CallGraph {
-            algorithm: options.algorithm,
-            reachable: state.reachable,
-            instantiated: state.instantiated,
-            edges: state.edges,
-            address_taken: state.address_taken,
-        })
+        #[cfg(debug_assertions)]
+        verify_full_sweep(&mut state, |st, fid| {
+            replay_summary(st, Some(fid), summary.function(fid)?, false);
+            Ok(())
+        })?;
+
+        state.flush_telemetry(telemetry, rounds, Some(replays));
+        Ok(state.freeze(options.algorithm))
     }
 
     /// The algorithm that produced this graph.
@@ -346,7 +307,7 @@ impl CallGraph {
 
     /// Whether `func` is reachable from the roots.
     pub fn is_reachable(&self, func: FuncId) -> bool {
-        self.reachable.contains(&func)
+        self.reachable_set.contains(func)
     }
 
     /// The reachable functions, in id order.
@@ -369,12 +330,14 @@ impl CallGraph {
     /// first-mark-wins results bit for bit — a round-robin split would
     /// interleave the order and scramble recorded reasons.
     pub fn reachable_shards(&self, n: usize) -> Vec<Vec<FuncId>> {
-        let all: Vec<FuncId> = self.reachable.iter().copied().collect();
-        if all.is_empty() {
+        if self.reachable.is_empty() {
             return Vec::new();
         }
-        let per_shard = all.len().div_ceil(n.max(1));
-        all.chunks(per_shard).map(<[FuncId]>::to_vec).collect()
+        let per_shard = self.reachable.len().div_ceil(n.max(1));
+        self.reachable
+            .chunks(per_shard)
+            .map(<[FuncId]>::to_vec)
+            .collect()
     }
 
     /// Classes considered instantiated (for `Everything` and `Cha`, all of
@@ -385,18 +348,26 @@ impl CallGraph {
 
     /// Whether `class` is in the instantiated set.
     pub fn is_instantiated(&self, class: ClassId) -> bool {
-        self.instantiated.contains(&class)
+        self.instantiated_set.contains(class)
     }
 
-    /// Resolved direct call edges from `func`. Virtual call sites
-    /// contribute one edge per possible target.
+    /// Resolved direct call edges from `func`, in ascending id order.
+    /// Virtual call sites contribute one edge per possible target.
     pub fn callees(&self, func: FuncId) -> impl Iterator<Item = FuncId> + '_ {
-        self.edges.get(&func).into_iter().flatten().copied()
+        let row = func.index();
+        let targets: &[FuncId] = if row + 1 < self.edge_offsets.len() {
+            let lo = self.edge_offsets[row] as usize;
+            let hi = self.edge_offsets[row + 1] as usize;
+            &self.edge_targets[lo..hi]
+        } else {
+            &[]
+        };
+        targets.iter().copied()
     }
 
     /// Total number of call edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.values().map(|s| s.len()).sum()
+        self.edge_targets.len()
     }
 
     /// Functions whose address is taken in reachable code.
@@ -405,42 +376,222 @@ impl CallGraph {
     }
 }
 
-struct Builder<'p> {
+/// Shared fixpoint state of both propagating builders, kept dense: bitset
+/// membership keyed by the program's `FuncId`/`ClassId` indices, sorted
+/// per-function edge rows (frozen into CSR at the end), and the delta
+/// worklist — `next` (functions to process in the following round),
+/// `heap` (this round's remaining slots, popped in ascending id order),
+/// `pending_dispatch` (class-indexed parked dispatch candidates), and
+/// `ready` (widened edges waiting for their owner's drain slot).
+struct PropState<'p> {
     program: &'p Program,
-    lookup: &'p MemberLookup<'p>,
     cha: bool,
-    pta: bool,
-    /// Memoized points-to results per (function, receiver variable).
-    pointee_cache: HashMap<(FuncId, String), Option<BTreeSet<ClassId>>>,
-    reachable: BTreeSet<FuncId>,
-    instantiated: BTreeSet<ClassId>,
-    edges: BTreeMap<FuncId, BTreeSet<FuncId>>,
-    address_taken: BTreeSet<FuncId>,
-    /// Callers that contain indirect calls; resolved against the
-    /// address-taken set after each sweep.
-    pending_fp_calls: BTreeSet<FuncId>,
+    reachable: FuncBitSet,
+    instantiated: ClassBitSet,
+    /// Per-caller sorted callee rows (binary-search insert keeps them
+    /// deduplicated and ascending, matching the old `BTreeSet` order).
+    edges: Vec<Vec<FuncId>>,
+    edge_total: usize,
+    address_taken: FuncBitSet,
+    /// Function-pointer resolution deltas: the conservative rule is the
+    /// full product `callers × address-taken targets`, maintained
+    /// incrementally as `new × (all ∪ new)  ∪  old × new` per round.
+    fp_caller_set: FuncBitSet,
+    fp_callers_all: Vec<FuncId>,
+    fp_callers_new: Vec<FuncId>,
+    fp_targets_all: Vec<FuncId>,
+    fp_targets_new: Vec<FuncId>,
+    /// Receiver class → (owner function, dispatch target) pairs waiting
+    /// for that class to be instantiated.
+    pending_dispatch: Vec<Vec<(FuncId, FuncId)>>,
+    /// Owner function → widened edges to add at its next worklist slot.
+    ready: Vec<Vec<FuncId>>,
+    /// This round's remaining slots, popped in ascending id order.
+    heap: BinaryHeap<Reverse<FuncId>>,
+    in_current: FuncBitSet,
+    /// Next round's delta batch, in discovery order (the heap re-sorts).
+    next: Vec<FuncId>,
+    in_next: FuncBitSet,
+    /// Functions whose first processing (walk/replay) already happened;
+    /// a later pop of such a function is a readied-site drain slot.
+    processed: FuncBitSet,
+    /// Id of the slot currently being processed. A pending-dispatch
+    /// release schedules its owner into the current round exactly when
+    /// the owner's slot is still ahead of the cursor — the same moment a
+    /// full-sweep re-walk of the owner would have seen the instantiation.
+    cursor: FuncId,
+    pops: u64,
+    drains: u64,
+    parked: u64,
 }
 
-impl<'p> Builder<'p> {
-    fn edge_total(&self) -> usize {
-        self.edges.values().map(|s| s.len()).sum()
+impl<'p> PropState<'p> {
+    fn new(program: &'p Program, cha: bool, roots: BTreeSet<FuncId>) -> PropState<'p> {
+        let n = program.function_count();
+        let k = program.class_count();
+        let mut st = PropState {
+            program,
+            cha,
+            reachable: FuncBitSet::with_capacity(n),
+            instantiated: ClassBitSet::with_capacity(k),
+            edges: vec![Vec::new(); n],
+            edge_total: 0,
+            address_taken: FuncBitSet::with_capacity(n),
+            fp_caller_set: FuncBitSet::with_capacity(n),
+            fp_callers_all: Vec::new(),
+            fp_callers_new: Vec::new(),
+            fp_targets_all: Vec::new(),
+            fp_targets_new: Vec::new(),
+            pending_dispatch: vec![Vec::new(); k],
+            ready: vec![Vec::new(); n],
+            heap: BinaryHeap::new(),
+            in_current: FuncBitSet::with_capacity(n),
+            next: Vec::new(),
+            in_next: FuncBitSet::with_capacity(n),
+            processed: FuncBitSet::with_capacity(n),
+            cursor: FuncId::from_index(0),
+            pops: 0,
+            drains: 0,
+            parked: 0,
+        };
+        for f in roots {
+            st.mark_reachable(f);
+        }
+        st
     }
 
     fn mark_reachable(&mut self, func: FuncId) {
-        self.reachable.insert(func);
+        if self.reachable.insert(func) {
+            // Newly reachable functions always wait for the next round:
+            // the full-sweep engines worked from a snapshot of the
+            // reachable set taken at round start.
+            self.schedule_next(func);
+        }
+    }
+
+    fn schedule_next(&mut self, func: FuncId) {
+        if self.in_next.insert(func) {
+            self.next.push(func);
+        }
+    }
+
+    fn schedule_current(&mut self, func: FuncId) {
+        if self.in_current.insert(func) {
+            self.heap.push(Reverse(func));
+        }
     }
 
     fn add_edge(&mut self, caller: Option<FuncId>, callee: FuncId) {
         if let Some(c) = caller {
-            self.edges.entry(c).or_default().insert(callee);
+            let row = &mut self.edges[c.index()];
+            if let Err(pos) = row.binary_search(&callee) {
+                row.insert(pos, callee);
+                self.edge_total += 1;
+            }
         }
         self.mark_reachable(callee);
     }
 
+    /// A virtual call site with a §3.1 points-to-refined target set:
+    /// dispatch is frozen to `targets` (never widened, never parked).
+    fn op_virtual_refined(&mut self, caller: Option<FuncId>, decl: FuncId, targets: &[FuncId]) {
+        if targets.is_empty() {
+            // A null-only or unresolvable pointer: keep the static
+            // declaration.
+            self.add_edge(caller, decl);
+        }
+        for &t in targets {
+            self.add_edge(caller, t);
+        }
+    }
+
+    /// An unrefined virtual call site: filter the pre-resolved
+    /// `(receiver class, override)` candidates by the instantiated set;
+    /// when `register`ing (a function's first processing), park the rest
+    /// in the pending-dispatch worklist so a later instantiation widens
+    /// this site without revisiting the body.
+    fn op_virtual_site(
+        &mut self,
+        caller: Option<FuncId>,
+        decl: FuncId,
+        candidates: &[(ClassId, FuncId)],
+        register: bool,
+    ) {
+        let mut any = false;
+        for &(c, f) in candidates {
+            if self.cha || self.instantiated.contains(c) {
+                self.add_edge(caller, f);
+                any = true;
+            } else if register {
+                if let Some(owner) = caller {
+                    self.pending_dispatch[c.index()].push((owner, f));
+                    self.parked += 1;
+                }
+            }
+        }
+        if !any {
+            // No receiver established yet (schedule-sensitive!): keep the
+            // static declaration so a later widening stays additive.
+            self.add_edge(caller, decl);
+        }
+    }
+
+    /// A `delete` of a pointer to `class`: through a virtual destructor
+    /// the candidate subclass destructors dispatch like a virtual call
+    /// (parked when uninstantiated), the static destructor and every
+    /// ancestor destructor run unconditionally.
+    fn op_delete(
+        &mut self,
+        caller: Option<FuncId>,
+        dtor: Option<FuncId>,
+        virtual_dtor: bool,
+        candidates: &[(ClassId, FuncId)],
+        ancestor_dtors: &[FuncId],
+        register: bool,
+    ) {
+        if let Some(d) = dtor {
+            if virtual_dtor {
+                for &(c, f) in candidates {
+                    if self.cha || self.instantiated.contains(c) {
+                        self.add_edge(caller, f);
+                    } else if register {
+                        if let Some(owner) = caller {
+                            self.pending_dispatch[c.index()].push((owner, f));
+                            self.parked += 1;
+                        }
+                    }
+                }
+            }
+            self.add_edge(caller, d);
+        }
+        // Destructors of base subobjects run too.
+        for &d in ancestor_dtors {
+            self.add_edge(caller, d);
+        }
+    }
+
+    fn op_fn_pointer_call(&mut self, caller: Option<FuncId>) {
+        if let Some(c) = caller {
+            if self.fp_caller_set.insert(c) {
+                self.fp_callers_new.push(c);
+            }
+        }
+    }
+
+    fn op_take_address(&mut self, func: FuncId) {
+        // "If the address of a function f is taken in reachable code, we
+        // assume f to be reachable."
+        if self.address_taken.insert(func) {
+            self.fp_targets_new.push(func);
+        }
+        self.mark_reachable(func);
+    }
+
     /// Marks `class` (and everything it constructs implicitly: bases and
     /// by-value member classes) as instantiated, making their default
-    /// constructors and destructors reachable.
-    fn instantiate(&mut self, caller: Option<FuncId>, class: ClassId, ctor: Option<FuncId>) {
+    /// constructors and destructors reachable, and releasing any dispatch
+    /// candidates parked on the newly instantiated classes.
+    fn op_instantiate(&mut self, caller: Option<FuncId>, class: ClassId, ctor: Option<FuncId>) {
         if let Some(c) = ctor {
             self.add_edge(caller, c);
         }
@@ -449,6 +600,7 @@ impl<'p> Builder<'p> {
             if !self.instantiated.insert(c) {
                 continue;
             }
+            self.release_pending(c);
             // The destructor of anything instantiated may run.
             if let Some(d) = self.program.destructor(c) {
                 self.mark_reachable(d);
@@ -473,53 +625,247 @@ impl<'p> Builder<'p> {
         }
     }
 
-    /// The candidate dynamic receiver classes for a virtual call whose
-    /// static receiver class is `receiver`.
-    fn dispatch_candidates(&self, receiver: ClassId) -> Vec<ClassId> {
-        self.program
-            .subclasses_of(receiver)
-            .into_iter()
-            .filter(|c| self.cha || self.instantiated.contains(c))
-            .collect()
-    }
-
-    fn virtual_targets(&self, receiver: ClassId, name: &str) -> BTreeSet<FuncId> {
-        let mut out = BTreeSet::new();
-        for c in self.dispatch_candidates(receiver) {
-            if let Some(f) = self.lookup.resolve_virtual(c, name) {
-                out.insert(f);
+    /// Releases the dispatch candidates parked on `class` into their
+    /// owners' ready rows and schedules the owners' drain slots. An owner
+    /// whose id is still ahead of the cursor drains this round (its
+    /// full-sweep re-walk would have run later this round and seen the
+    /// instantiation); an owner at or behind the cursor drains next round
+    /// (its re-walk this round had already passed).
+    fn release_pending(&mut self, class: ClassId) {
+        let waiters = std::mem::take(&mut self.pending_dispatch[class.index()]);
+        for (owner, target) in waiters {
+            self.ready[owner.index()].push(target);
+            if owner > self.cursor {
+                self.schedule_current(owner);
+            } else {
+                self.schedule_next(owner);
             }
         }
-        out
     }
 
+    /// Adds this round's new function-pointer edges: the conservative
+    /// full product, restricted to pairs involving a caller or target
+    /// first seen this round. Address-taken targets are already reachable
+    /// when recorded, so these edges never create fresh reachability and
+    /// the delta product is order-insensitive.
+    fn resolve_fp_delta(&mut self) {
+        if self.fp_callers_new.is_empty() && self.fp_targets_new.is_empty() {
+            return;
+        }
+        let new_callers = std::mem::take(&mut self.fp_callers_new);
+        let new_targets = std::mem::take(&mut self.fp_targets_new);
+        for &c in &new_callers {
+            for i in 0..self.fp_targets_all.len() {
+                let t = self.fp_targets_all[i];
+                self.add_edge(Some(c), t);
+            }
+            for &t in &new_targets {
+                self.add_edge(Some(c), t);
+            }
+        }
+        for i in 0..self.fp_callers_all.len() {
+            let c = self.fp_callers_all[i];
+            for &t in &new_targets {
+                self.add_edge(Some(c), t);
+            }
+        }
+        self.fp_callers_all.extend_from_slice(&new_callers);
+        self.fp_targets_all.extend_from_slice(&new_targets);
+    }
+
+    /// Drains the widened edges readied for `owner` since its last slot.
+    fn drain_ready(&mut self, owner: FuncId) {
+        let widened = std::mem::take(&mut self.ready[owner.index()]);
+        self.drains += widened.len() as u64;
+        for t in widened {
+            self.add_edge(Some(owner), t);
+        }
+    }
+
+    fn flush_telemetry(&self, telemetry: &Telemetry, rounds: u64, replays: Option<u64>) {
+        telemetry.update_stats(|s| {
+            s.callgraph_rounds = rounds;
+            s.worklist_pushes += self.parked;
+            if let Some(r) = replays {
+                s.summary_replays += r;
+            }
+        });
+        telemetry.add_counters(&Counters {
+            cg_worklist_pops: self.pops,
+            cg_ready_drains: self.drains,
+            ..Counters::default()
+        });
+    }
+
+    /// Freezes the grow-phase state into the dense public representation:
+    /// sorted id vectors plus the CSR adjacency (the per-caller rows are
+    /// already sorted and deduplicated; freezing just concatenates them).
+    fn freeze(self, algorithm: Algorithm) -> CallGraph {
+        let reachable = self.reachable.to_vec();
+        let instantiated = self.instantiated.to_vec();
+        let address_taken = self.address_taken.to_vec();
+        let mut edge_offsets = Vec::with_capacity(self.edges.len() + 1);
+        let mut edge_targets = Vec::with_capacity(self.edge_total);
+        edge_offsets.push(0u32);
+        for row in &self.edges {
+            edge_targets.extend_from_slice(row);
+            edge_offsets.push(edge_targets.len() as u32);
+        }
+        CallGraph {
+            algorithm,
+            reachable,
+            reachable_set: self.reachable,
+            instantiated,
+            instantiated_set: self.instantiated,
+            edge_offsets,
+            edge_targets,
+            address_taken,
+        }
+    }
+}
+
+/// Runs the delta worklist to its fixpoint: each round moves the pending
+/// `next` batch into the id-ordered heap and pops slots until the round
+/// is empty — a first pop of a function runs `process` (full walk or
+/// summary replay), a repeat pop drains the function's readied widenings
+/// — then resolves the round's function-pointer delta. Terminates when no
+/// next batch exists: the worklist-empty condition (every reachable
+/// function processed, every readied site drained) replaces the old
+/// recount-everything convergence triple, which `verify_full_sweep`
+/// re-checks under `cfg(debug_assertions)`.
+fn run_fixpoint<'p, E>(
+    state: &mut PropState<'p>,
+    telemetry: &Telemetry,
+    label: &str,
+    mut process: impl FnMut(&mut PropState<'p>, FuncId) -> Result<(), E>,
+) -> Result<u64, E> {
+    let mut rounds: u64 = 0;
+    while !state.next.is_empty() {
+        let batch = std::mem::take(&mut state.next);
+        let round_span = telemetry.span(LANE_MAIN, || {
+            format!("{label} delta {rounds} ({} fns)", batch.len())
+        });
+        telemetry.update_stats(|s| s.cg_round_deltas.push(batch.len() as u64));
+        for f in batch {
+            state.in_next.remove(f);
+            state.schedule_current(f);
+        }
+        while let Some(Reverse(f)) = state.heap.pop() {
+            state.in_current.remove(f);
+            state.cursor = f;
+            state.pops += 1;
+            if state.processed.insert(f) {
+                process(state, f)?;
+            } else {
+                state.drain_ready(f);
+            }
+        }
+        state.resolve_fp_delta();
+        drop(round_span);
+        rounds += 1;
+    }
+    debug_assert!(
+        state.ready.iter().all(Vec::is_empty),
+        "every readied widening is drained before the fixpoint settles"
+    );
+    Ok(rounds)
+}
+
+/// Debug-build cross-check of the worklist-empty convergence condition
+/// against the historical criterion: one more full sweep over the entire
+/// reachable set (processing with `register = false`) plus a full
+/// function-pointer product must leave the old convergence triple —
+/// (reachable count, instantiated count, edge total) — unchanged.
+#[cfg(debug_assertions)]
+fn verify_full_sweep<'p, E>(
+    state: &mut PropState<'p>,
+    mut process: impl FnMut(&mut PropState<'p>, FuncId) -> Result<(), E>,
+) -> Result<(), E> {
+    let before = (
+        state.reachable.count(),
+        state.instantiated.count(),
+        state.edge_total,
+    );
+    for fid in state.reachable.to_vec() {
+        process(state, fid)?;
+    }
+    let callers = state.fp_callers_all.clone();
+    let targets = state.fp_targets_all.clone();
+    for &c in &callers {
+        for &t in &targets {
+            state.add_edge(Some(c), t);
+        }
+    }
+    let after = (
+        state.reachable.count(),
+        state.instantiated.count(),
+        state.edge_total,
+    );
+    assert_eq!(
+        before, after,
+        "worklist-empty fixpoint disagrees with the full-sweep convergence triple"
+    );
+    assert!(
+        state.next.is_empty(),
+        "a confirming full sweep scheduled new work after the worklist drained"
+    );
+    Ok(())
+}
+
+/// Replays one summary's call-graph steps in body order against the
+/// shared propagation ops, mirroring [`EventSink`]'s handling of the
+/// corresponding walk events.
+fn replay_summary(st: &mut PropState<'_>, caller: Option<FuncId>, summary: &FnSummary, register: bool) {
+    for step in &summary.cg_steps {
+        match step {
+            CgStep::Call(f) => st.add_edge(caller, *f),
+            CgStep::VirtualCall(site) => match &site.refined {
+                Some(fs) => st.op_virtual_refined(caller, site.decl, fs),
+                None => st.op_virtual_site(caller, site.decl, &site.candidates, register),
+            },
+            CgStep::FnPointerCall => st.op_fn_pointer_call(caller),
+            CgStep::TakeAddress(f) => st.op_take_address(*f),
+            CgStep::Instantiate { class, ctor } => st.op_instantiate(caller, *class, *ctor),
+            CgStep::Delete(site) => st.op_delete(
+                caller,
+                site.dtor,
+                site.virtual_dtor,
+                &site.candidates,
+                &site.ancestor_dtors,
+                register,
+            ),
+        }
+    }
+}
+
+/// The walking builder's event adapter: resolves each walk event to the
+/// same pre-filtered form the summary extractor records (unfiltered
+/// candidate lists, PTA-refined target sets), then feeds the shared
+/// [`PropState`] ops — so both engines make identical propagation calls.
+struct EventSink<'a, 'p> {
+    caller: Option<FuncId>,
+    /// Whether uninstantiated dispatch candidates may be parked in the
+    /// pending-dispatch worklist (true only during a reachable function's
+    /// first processing; global initializers are frozen).
+    register: bool,
+    lookup: &'a MemberLookup<'p>,
+    pta: bool,
+    /// Memoized points-to results per (function, receiver variable).
+    pointee_cache: &'a mut HashMap<(FuncId, String), Option<BTreeSet<ClassId>>>,
+    state: &'a mut PropState<'p>,
+}
+
+impl EventSink<'_, '_> {
     /// Cached §3.1 points-to query for `var` in `func`.
     fn pointees_of(&mut self, func: FuncId, var: &str) -> Option<BTreeSet<ClassId>> {
         let key = (func, var.to_string());
         if let Some(cached) = self.pointee_cache.get(&key) {
             return cached.clone();
         }
-        let result = pta::local_pointees(self.program, func, var);
+        let result = pta::local_pointees(self.state.program, func, var);
         self.pointee_cache.insert(key, result.clone());
         result
     }
-
-    fn resolve_function_pointer_calls(&mut self) {
-        // Any address-taken function may be the target of any indirect
-        // call (the paper's conservative treatment of function pointers).
-        let callers: Vec<FuncId> = self.pending_fp_calls.iter().copied().collect();
-        let targets: Vec<FuncId> = self.address_taken.iter().copied().collect();
-        for caller in callers {
-            for &t in &targets {
-                self.add_edge(Some(caller), t);
-            }
-        }
-    }
-}
-
-struct EventSink<'a, 'p> {
-    caller: Option<FuncId>,
-    state: &'a mut Builder<'p>,
 }
 
 impl EventVisitor for EventSink<'_, '_> {
@@ -538,74 +884,70 @@ impl EventVisitor for EventSink<'_, '_> {
                     // §3.1 refinement: a points-to set for the receiver
                     // variable narrows dispatch to the classes it can
                     // actually reference.
-                    let refined = match (self.state.pta, receiver_var, self.caller) {
-                        (true, Some(var), Some(caller)) => self.state.pointees_of(caller, var),
+                    let refined = match (self.pta, receiver_var, self.caller) {
+                        (true, Some(var), Some(caller)) => self.pointees_of(caller, var),
                         _ => None,
                     };
-                    let targets = match refined {
+                    match refined {
                         Some(classes) => {
                             let mut out = BTreeSet::new();
                             for c in classes {
-                                if let Some(f) = self.state.lookup.resolve_virtual(c, &name) {
+                                if let Some(f) = self.lookup.resolve_virtual(c, &name) {
                                     out.insert(f);
                                 }
                             }
-                            out
+                            let targets: Vec<FuncId> = out.into_iter().collect();
+                            self.state.op_virtual_refined(self.caller, *func, &targets);
                         }
-                        None => self.state.virtual_targets(*receiver_class, &name),
-                    };
-                    if targets.is_empty() {
-                        // No receiver established yet (or a null-only
-                        // pointer): keep the static declaration so a later
-                        // sweep can widen it.
-                        self.state.add_edge(self.caller, *func);
-                    }
-                    for t in targets {
-                        self.state.add_edge(self.caller, t);
+                        None => {
+                            let candidates =
+                                self.lookup.dispatch_candidates(*receiver_class, &name);
+                            self.state
+                                .op_virtual_site(self.caller, *func, &candidates, self.register);
+                        }
                     }
                 } else {
                     self.state.add_edge(self.caller, *func);
                 }
             }
-            CallTarget::FunctionPointer => {
-                if let Some(c) = self.caller {
-                    self.state.pending_fp_calls.insert(c);
-                }
-            }
+            CallTarget::FunctionPointer => self.state.op_fn_pointer_call(self.caller),
         }
     }
 
     fn address_of_function(&mut self, func: FuncId, _span: ddm_cppfront::Span) {
-        // "If the address of a function f is taken in reachable code, we
-        // assume f to be reachable."
-        self.state.address_taken.insert(func);
-        self.state.mark_reachable(func);
+        self.state.op_take_address(func);
     }
 
     fn instantiation(&mut self, ev: &InstantiationEvent) {
-        self.state.instantiate(self.caller, ev.class, ev.ctor);
+        self.state.op_instantiate(self.caller, ev.class, ev.ctor);
     }
 
     fn delete_of(&mut self, ev: &DeleteEvent) {
         let Some(class) = ev.pointee_class else {
             return;
         };
-        if let Some(dtor) = self.state.program.destructor(class) {
-            if self.state.program.function(dtor).is_virtual {
-                for c in self.state.dispatch_candidates(class) {
-                    if let Some(d) = self.state.program.destructor(c) {
-                        self.state.add_edge(self.caller, d);
-                    }
-                }
-            }
-            self.state.add_edge(self.caller, dtor);
-        }
-        // Destructors of base subobjects run too.
-        for a in self.state.program.ancestors_of(class) {
-            if let Some(d) = self.state.program.destructor(a) {
-                self.state.add_edge(self.caller, d);
-            }
-        }
+        let dtor = self.state.program.destructor(class);
+        let virtual_dtor = dtor.is_some_and(|d| self.state.program.function(d).is_virtual);
+        let candidates = if virtual_dtor {
+            self.lookup.destructor_candidates(class)
+        } else {
+            std::rc::Rc::new(Vec::new())
+        };
+        let ancestor_dtors: Vec<FuncId> = self
+            .state
+            .program
+            .ancestors_of(class)
+            .into_iter()
+            .filter_map(|a| self.state.program.destructor(a))
+            .collect();
+        self.state.op_delete(
+            self.caller,
+            dtor,
+            virtual_dtor,
+            &candidates,
+            &ancestor_dtors,
+            self.register,
+        );
     }
 }
 
@@ -633,179 +975,6 @@ fn propagation_roots(program: &Program, options: &CallGraphOptions) -> BTreeSet<
         }
     }
     roots
-}
-
-/// Fixpoint state of [`CallGraph::build_from_summary`]: the walking
-/// builder's propagation state, plus the worklist indexes that replace
-/// re-walking — `pending_dispatch` remembers which not-yet-instantiated
-/// receiver classes would widen which already-replayed sites, and `ready`
-/// holds the widened edges until the owner's slot in the round order
-/// comes up (the moment its re-walk would have added them).
-struct SummaryReplayer<'p> {
-    program: &'p Program,
-    cha: bool,
-    reachable: BTreeSet<FuncId>,
-    instantiated: BTreeSet<ClassId>,
-    edges: BTreeMap<FuncId, BTreeSet<FuncId>>,
-    address_taken: BTreeSet<FuncId>,
-    pending_fp_calls: BTreeSet<FuncId>,
-    /// Receiver class → (owner function, dispatch target) pairs waiting
-    /// for that class to be instantiated.
-    pending_dispatch: HashMap<ClassId, Vec<(FuncId, FuncId)>>,
-    /// Owner function → widened edges to add at its next round slot.
-    ready: HashMap<FuncId, BTreeSet<FuncId>>,
-    /// Observational: full [`FnSummary`] replays performed.
-    replays: u64,
-    /// Observational: candidates parked in `pending_dispatch`.
-    worklist_pushes: u64,
-}
-
-impl SummaryReplayer<'_> {
-    fn edge_total(&self) -> usize {
-        self.edges.values().map(|s| s.len()).sum()
-    }
-
-    fn mark_reachable(&mut self, func: FuncId) {
-        self.reachable.insert(func);
-    }
-
-    fn add_edge(&mut self, caller: Option<FuncId>, callee: FuncId) {
-        if let Some(c) = caller {
-            self.edges.entry(c).or_default().insert(callee);
-        }
-        self.mark_reachable(callee);
-    }
-
-    /// [`Builder::instantiate`]'s closure, plus the worklist step: a
-    /// newly instantiated class releases its pending dispatch candidates
-    /// into the owners' ready sets.
-    fn instantiate(&mut self, caller: Option<FuncId>, class: ClassId, ctor: Option<FuncId>) {
-        if let Some(c) = ctor {
-            self.add_edge(caller, c);
-        }
-        let mut stack = vec![class];
-        while let Some(c) = stack.pop() {
-            if !self.instantiated.insert(c) {
-                continue;
-            }
-            if let Some(waiters) = self.pending_dispatch.remove(&c) {
-                for (owner, target) in waiters {
-                    self.ready.entry(owner).or_default().insert(target);
-                }
-            }
-            if let Some(d) = self.program.destructor(c) {
-                self.mark_reachable(d);
-            }
-            let info = self.program.class(c);
-            for b in &info.bases {
-                if let Some(dc) = resolve_ctor(self.program, b.id, 0) {
-                    self.mark_reachable(dc);
-                }
-                stack.push(b.id);
-            }
-            for m in &info.members {
-                if let Some(name) = ddm_hierarchy::by_value_class(&m.ty) {
-                    if let Some(id) = self.program.class_by_name(name) {
-                        if let Some(dc) = resolve_ctor(self.program, id, 0) {
-                            self.mark_reachable(dc);
-                        }
-                        stack.push(id);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Filters a site's pre-resolved dispatch candidates by the current
-    /// instantiated set; when `register`ing, parks the rest in the
-    /// pending-dispatch worklist so a later instantiation widens this
-    /// site without revisiting it.
-    fn filter_candidates(
-        &mut self,
-        caller: Option<FuncId>,
-        candidates: &[(ClassId, FuncId)],
-        register: bool,
-        targets: &mut BTreeSet<FuncId>,
-    ) {
-        for &(c, f) in candidates {
-            if self.cha || self.instantiated.contains(&c) {
-                targets.insert(f);
-            } else if register {
-                if let Some(owner) = caller {
-                    self.pending_dispatch.entry(c).or_default().push((owner, f));
-                    self.worklist_pushes += 1;
-                }
-            }
-        }
-    }
-
-    /// Replays one summary's call-graph steps in body order, mirroring
-    /// [`EventSink`]'s handling of the corresponding events.
-    fn replay(&mut self, caller: Option<FuncId>, summary: &FnSummary, register: bool) {
-        self.replays += 1;
-        for step in &summary.cg_steps {
-            match step {
-                CgStep::Call(f) => self.add_edge(caller, *f),
-                CgStep::VirtualCall(site) => {
-                    let mut targets = BTreeSet::new();
-                    match &site.refined {
-                        Some(fs) => targets.extend(fs.iter().copied()),
-                        None => {
-                            self.filter_candidates(caller, &site.candidates, register, &mut targets)
-                        }
-                    }
-                    if targets.is_empty() {
-                        // No receiver established yet (or a null-only
-                        // pointer): keep the static declaration.
-                        self.add_edge(caller, site.decl);
-                    }
-                    for t in targets {
-                        self.add_edge(caller, t);
-                    }
-                }
-                CgStep::FnPointerCall => {
-                    if let Some(c) = caller {
-                        self.pending_fp_calls.insert(c);
-                    }
-                }
-                CgStep::TakeAddress(f) => {
-                    self.address_taken.insert(*f);
-                    self.mark_reachable(*f);
-                }
-                CgStep::Instantiate { class, ctor } => self.instantiate(caller, *class, *ctor),
-                CgStep::Delete(site) => {
-                    if let Some(dtor) = site.dtor {
-                        if site.virtual_dtor {
-                            let mut targets = BTreeSet::new();
-                            self.filter_candidates(
-                                caller,
-                                &site.candidates,
-                                register,
-                                &mut targets,
-                            );
-                            for t in targets {
-                                self.add_edge(caller, t);
-                            }
-                        }
-                        self.add_edge(caller, dtor);
-                    }
-                    for &d in &site.ancestor_dtors {
-                        self.add_edge(caller, d);
-                    }
-                }
-            }
-        }
-    }
-
-    fn resolve_function_pointer_calls(&mut self) {
-        let callers: Vec<FuncId> = self.pending_fp_calls.iter().copied().collect();
-        let targets: Vec<FuncId> = self.address_taken.iter().copied().collect();
-        for caller in callers {
-            for &t in &targets {
-                self.add_edge(Some(caller), t);
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -1112,5 +1281,59 @@ mod tests {
         let main = p.main_function().unwrap();
         let callees: Vec<_> = g.callees(main).collect();
         assert_eq!(callees, vec![p.free_function("f").unwrap()]);
+    }
+
+    #[test]
+    fn csr_rows_are_sorted_and_deduplicated() {
+        // main calls several functions, some repeatedly: its CSR row must
+        // be strictly ascending and the edge count exact.
+        let (p, g) = graph(
+            "int z() { return 1; } int y() { return z(); } int x() { return y(); }\n\
+             int main() { return x() + y() + z() + x(); }",
+            Algorithm::Rta,
+        );
+        let main = p.main_function().unwrap();
+        let row: Vec<FuncId> = g.callees(main).collect();
+        assert_eq!(row.len(), 3, "repeat calls are deduplicated");
+        assert!(row.windows(2).all(|w| w[0] < w[1]), "rows strictly ascend");
+        assert_eq!(g.edge_count(), 5);
+        // Unreachable functions have empty rows.
+        let (p2, g2) = graph(
+            "int lonely() { return 1; } int main() { return 0; }",
+            Algorithm::Rta,
+        );
+        assert_eq!(g2.callees(p2.free_function("lonely").unwrap()).count(), 0);
+    }
+
+    #[test]
+    fn worklist_counters_identical_across_engines() {
+        // The delta schedule is shared by construction, so pops and
+        // drains — not just the resulting graph — must agree.
+        let src = "
+            class A { public: virtual int f() { return 0; } virtual ~A() { } };
+            class B : public A { public: virtual int f() { return make(); } ~B() { } };
+            class C : public A { public: virtual int f() { return 2; } };
+            int ind() { return 7; }
+            int make() { B* b = new B(); A* a = b; int r = a->f(); delete b; return r; }
+            int main() { A a; int (*fp)() = ind; return a.f() + fp() + make(); }";
+        let tu = parse(src).expect("parse");
+        let p = Program::build(&tu).expect("sema");
+        let lk = MemberLookup::new(&p);
+        let options = CallGraphOptions::default();
+        let walk_tel = Telemetry::enabled();
+        CallGraph::build_with(&p, &lk, &options, &walk_tel).unwrap();
+        let summary = ProgramSummary::build(&p, false, 1);
+        let replay_tel = Telemetry::enabled();
+        CallGraph::build_from_summary_with(&p, &summary, &options, &replay_tel).unwrap();
+        let walked = walk_tel.counters();
+        let replayed = replay_tel.counters();
+        assert!(walked.cg_worklist_pops > 0);
+        assert_eq!(walked.cg_worklist_pops, replayed.cg_worklist_pops);
+        assert_eq!(walked.cg_ready_drains, replayed.cg_ready_drains);
+        assert_eq!(
+            walk_tel.stats().cg_round_deltas,
+            replay_tel.stats().cg_round_deltas,
+            "delta batches must line up round for round"
+        );
     }
 }

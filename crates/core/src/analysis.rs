@@ -181,11 +181,14 @@ impl<'p> DeadMemberAnalysis<'p> {
     ///   order-preserving slice, and deltas are [`Liveness::merge`]d in
     ///   shard order, which reproduces the sequential scan's
     ///   first-mark-wins reason for every member;
-    /// * scan rounds repeat until no worker contributes a new mark (one
-    ///   productive round plus one confirming round today; the loop is
-    ///   the fixed-point guarantee should a marking rule ever become
-    ///   liveness-dependent), and the union-propagation fixpoint then
-    ///   runs on the merged state exactly as in the sequential path.
+    /// * the scan follows the same delta discipline as the call-graph
+    ///   fixpoint: its worklist is the newly reachable frontier, which —
+    ///   the call graph being final before the scan starts — is the whole
+    ///   reachable set in round 0 and empty ever after, so a single
+    ///   productive round is the fixpoint (a confirming round asserts
+    ///   this under `cfg(debug_assertions)`), and the union-propagation
+    ///   fixpoint then runs on the merged state exactly as in the
+    ///   sequential path.
     ///
     /// `jobs <= 1` — and, since the sharded machinery costs more than it
     /// saves on small programs, any graph with fewer than
@@ -297,40 +300,59 @@ impl<'p> DeadMemberAnalysis<'p> {
                 })
                 .collect();
 
-            loop {
+            // Delta discipline: the scan worklist is the newly reachable
+            // frontier, and the call graph is final before the scan
+            // starts, so round 0's frontier is the entire reachable set
+            // and every later frontier is empty. Marking is a pure
+            // function of the body (never of the current liveness), so
+            // the single productive round reaches the fixpoint — the
+            // worklist-empty condition replaces the old
+            // re-scan-until-nothing-changes loop.
+            for (cmd, _) in &workers {
+                cmd.send(()).expect("analysis worker alive");
+            }
+            // Deterministic reduction: fold the deltas in shard order, so
+            // an earlier shard's mark always wins — exactly the
+            // sequential scan order. The visited sets union into the
+            // shared marker for the union-propagation stage (the union of
+            // per-worker closures equals the sequential closure). An
+            // error likewise surfaces in shard order, matching the
+            // sequential path.
+            for (_, out) in &workers {
+                let (liveness, visited, counters) = out.recv().expect("analysis worker delta")?;
+                marker.liveness.merge(&liveness);
+                marker.visited.extend(visited);
+                merges += 1;
+                busy += 1;
+                marker.counters.add(&counters);
+            }
+            rounds = 1;
+
+            // Debug cross-check of the worklist-empty condition: one
+            // confirming round must contribute nothing new. Excluded
+            // from the stats so debug and release report the same
+            // execution shape.
+            #[cfg(debug_assertions)]
+            {
                 for (cmd, _) in &workers {
                     cmd.send(()).expect("analysis worker alive");
                 }
-                // Deterministic reduction: fold the deltas in shard
-                // order, so an earlier shard's mark always wins — exactly
-                // the sequential scan order. The visited sets union into
-                // the shared marker for the union-propagation stage (the
-                // union of per-worker closures equals the sequential
-                // closure). An error likewise surfaces in shard order,
-                // matching the sequential path.
-                let mut round_changed = false;
+                let mut changed = false;
                 for (_, out) in &workers {
-                    let (liveness, visited, counters) = out.recv().expect("analysis worker delta")?;
-                    round_changed |= marker.liveness.merge(&liveness);
+                    let (liveness, visited, _counters) =
+                        out.recv().expect("analysis worker delta")?;
+                    changed |= marker.liveness.merge(&liveness);
                     marker.visited.extend(visited);
-                    merges += 1;
-                    busy += 1;
-                    if rounds == 0 {
-                        // Marking is a pure function of the body, so
-                        // every round re-counts the identical event
-                        // stream; summing the first round only makes the
-                        // totals round-count- (and therefore jobs-)
-                        // independent, matching the sequential scan.
-                        marker.counters.add(&counters);
-                    }
                 }
-                rounds += 1;
-                if !round_changed {
-                    // Dropping `workers` closes the command channels and
-                    // the workers exit before the scope joins them.
-                    return Ok(());
-                }
+                assert!(
+                    !changed,
+                    "a confirming scan round found new marks after the productive round"
+                );
             }
+
+            // Dropping `workers` closes the command channels and the
+            // workers exit before the scope joins them.
+            Ok(())
         });
         scan_result?;
         telemetry.update_stats(|s| {

@@ -22,9 +22,11 @@ use std::fmt;
 /// how often function bodies are traversed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Engine {
-    /// The original engine: the call-graph fixpoint re-walks every
-    /// reachable function AST each round, and the liveness scan walks
-    /// them all again. Retained as the differential-testing reference.
+    /// The AST-walking engine: the delta call-graph fixpoint walks each
+    /// newly reachable function body once (widening parked dispatch
+    /// sites without re-walking), and the liveness scan walks the
+    /// reachable set again. Retained as the differential-testing
+    /// reference.
     Walk,
     /// The walk-once engine (default): each function body is traversed
     /// exactly once to extract a summary; call-graph construction and the

@@ -24,6 +24,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod bitset;
 pub mod ids;
 pub mod layout;
 pub mod lookup;
@@ -34,6 +35,7 @@ pub mod summary;
 pub mod typewalk;
 pub mod used;
 
+pub use bitset::{ClassBitSet, DenseBitSet, FuncBitSet};
 pub use ids::{ClassId, FuncId, MemberRef};
 pub use layout::{ClassLayout, FieldSlot, LayoutEngine};
 pub use lookup::{Found, LookupError, MemberLookup};

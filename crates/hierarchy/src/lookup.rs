@@ -87,6 +87,8 @@ impl Error for LookupError {}
 pub struct MemberLookup<'p> {
     program: &'p Program,
     trees: RefCell<HashMap<ClassId, std::rc::Rc<SubobjectTree>>>,
+    dispatch: RefCell<HashMap<(ClassId, String), std::rc::Rc<Vec<(ClassId, FuncId)>>>>,
+    dtors: RefCell<HashMap<ClassId, std::rc::Rc<Vec<(ClassId, FuncId)>>>>,
 }
 
 impl<'p> MemberLookup<'p> {
@@ -95,6 +97,8 @@ impl<'p> MemberLookup<'p> {
         MemberLookup {
             program,
             trees: RefCell::new(HashMap::new()),
+            dispatch: RefCell::new(HashMap::new()),
+            dtors: RefCell::new(HashMap::new()),
         }
     }
 
@@ -218,6 +222,52 @@ impl<'p> MemberLookup<'p> {
             Ok(Found::Method { func, .. }) => Some(func),
             _ => None,
         }
+    }
+
+    /// The (cached) dispatch-candidate set of a virtual call on a receiver
+    /// declared as `receiver`: for every transitive subclass (in class-id
+    /// order, `receiver` included), the dynamic dispatch target of `name` on
+    /// that class. Every dispatch site with the same declared receiver and
+    /// method shares this computation — without the cache, candidate
+    /// resolution is quadratic in hierarchy depth *per site*, which
+    /// dominates body walking on deep hierarchies.
+    pub fn dispatch_candidates(
+        &self,
+        receiver: ClassId,
+        name: &str,
+    ) -> std::rc::Rc<Vec<(ClassId, FuncId)>> {
+        let key = (receiver, name.to_string());
+        if let Some(c) = self.dispatch.borrow().get(&key) {
+            return c.clone();
+        }
+        let computed = std::rc::Rc::new(
+            self.program
+                .subclasses_of(receiver)
+                .into_iter()
+                .filter_map(|c| self.resolve_virtual(c, name).map(|f| (c, f)))
+                .collect::<Vec<_>>(),
+        );
+        self.dispatch.borrow_mut().insert(key, computed.clone());
+        computed
+    }
+
+    /// The (cached) destructor-candidate set of a `delete` through a
+    /// pointer declared as `class`: every transitive subclass (in class-id
+    /// order) paired with its destructor, for subclasses that have one.
+    /// Cached for the same reason as [`MemberLookup::dispatch_candidates`].
+    pub fn destructor_candidates(&self, class: ClassId) -> std::rc::Rc<Vec<(ClassId, FuncId)>> {
+        if let Some(c) = self.dtors.borrow().get(&class) {
+            return c.clone();
+        }
+        let computed = std::rc::Rc::new(
+            self.program
+                .subclasses_of(class)
+                .into_iter()
+                .filter_map(|c| self.program.destructor(c).map(|d| (c, d)))
+                .collect::<Vec<_>>(),
+        );
+        self.dtors.borrow_mut().insert(class, computed.clone());
+        computed
     }
 }
 

@@ -116,63 +116,44 @@ impl MemberIndex {
     }
 }
 
-/// A bitset over the dense ids of a [`MemberIndex`].
+/// A bitset over the dense ids of a [`MemberIndex`], backed by the
+/// shared [`DenseBitSet`](crate::bitset::DenseBitSet) word array.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemberBitSet {
-    words: Vec<u64>,
+    bits: crate::bitset::DenseBitSet,
 }
 
 impl MemberBitSet {
     /// An empty set sized for `len` members.
     pub fn with_capacity(len: usize) -> MemberBitSet {
         MemberBitSet {
-            words: vec![0; len.div_ceil(64)],
+            bits: crate::bitset::DenseBitSet::with_capacity(len),
         }
     }
 
     /// Inserts `id`; returns true if it was not already present.
     pub fn insert(&mut self, id: u32) -> bool {
-        let (word, bit) = (id as usize / 64, id as usize % 64);
-        if word >= self.words.len() {
-            self.words.resize(word + 1, 0);
-        }
-        let mask = 1u64 << bit;
-        let fresh = self.words[word] & mask == 0;
-        self.words[word] |= mask;
-        fresh
+        self.bits.insert(id)
     }
 
     /// Whether `id` is in the set.
     pub fn contains(&self, id: u32) -> bool {
-        let (word, bit) = (id as usize / 64, id as usize % 64);
-        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+        self.bits.contains(id)
     }
 
     /// Unions `other` into this set; returns true if anything was added.
     pub fn union_with(&mut self, other: &MemberBitSet) -> bool {
-        if other.words.len() > self.words.len() {
-            self.words.resize(other.words.len(), 0);
-        }
-        let mut changed = false;
-        for (w, &o) in self.words.iter_mut().zip(&other.words) {
-            changed |= o & !*w != 0;
-            *w |= o;
-        }
-        changed
+        self.bits.union_with(&other.bits)
     }
 
     /// Number of members in the set.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.bits.count()
     }
 
     /// The set's ids in ascending (declaration) order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64)
-                .filter(move |b| w & (1 << b) != 0)
-                .map(move |b| (wi * 64 + b) as u32)
-        })
+        self.bits.iter()
     }
 }
 
@@ -690,11 +671,10 @@ impl EventVisitor for Extractor<'_, '_> {
                         (true, Some(var)) => self.refined_targets(var, &name),
                         _ => None,
                     };
-                    let candidates = program
-                        .subclasses_of(*receiver_class)
-                        .into_iter()
-                        .filter_map(|c| self.lookup.resolve_virtual(c, &name).map(|f| (c, f)))
-                        .collect();
+                    let candidates = self
+                        .lookup
+                        .dispatch_candidates(*receiver_class, &name)
+                        .to_vec();
                     self.out.cg_steps.push(CgStep::VirtualCall(VirtualSite {
                         decl: *func,
                         candidates,
@@ -726,11 +706,7 @@ impl EventVisitor for Extractor<'_, '_> {
         let dtor = self.program.destructor(class);
         let virtual_dtor = dtor.is_some_and(|d| self.program.function(d).is_virtual);
         let candidates = if virtual_dtor {
-            self.program
-                .subclasses_of(class)
-                .into_iter()
-                .filter_map(|c| self.program.destructor(c).map(|d| (c, d)))
-                .collect()
+            self.lookup.destructor_candidates(class).to_vec()
         } else {
             Vec::new()
         };

@@ -49,6 +49,13 @@ pub struct Counters {
     pub callgraph_edges: u64,
     /// Classes in the instantiated set.
     pub instantiated_classes: u64,
+    /// Call-graph delta-worklist pops (first processings + readied-site
+    /// drain slots). Both builders drive the same schedule, so the count
+    /// is engine- and jobs-independent.
+    pub cg_worklist_pops: u64,
+    /// Widened dispatch edges drained from readied sites after their
+    /// receiver classes became instantiated.
+    pub cg_ready_drains: u64,
     /// Member reads the scan marked live for.
     pub scan_reads: u64,
     /// Address-taken member accesses.
@@ -89,11 +96,13 @@ impl Counters {
 
     /// Stable (key, value) view, in rendering order. The keys double as
     /// JSON field names in `BENCH_suite.json`.
-    pub fn rows(&self) -> [(&'static str, u64); 14] {
+    pub fn rows(&self) -> [(&'static str, u64); 16] {
         [
             ("reachable_functions", self.reachable_functions),
             ("callgraph_edges", self.callgraph_edges),
             ("instantiated_classes", self.instantiated_classes),
+            ("cg_worklist_pops", self.cg_worklist_pops),
+            ("cg_ready_drains", self.cg_ready_drains),
             ("scan_reads", self.scan_reads),
             ("scan_address_taken", self.scan_address_taken),
             ("scan_ptr_to_member", self.scan_ptr_to_member),
@@ -108,11 +117,13 @@ impl Counters {
         ]
     }
 
-    fn rows_mut(&mut self) -> [(&'static str, &mut u64); 14] {
+    fn rows_mut(&mut self) -> [(&'static str, &mut u64); 16] {
         [
             ("reachable_functions", &mut self.reachable_functions),
             ("callgraph_edges", &mut self.callgraph_edges),
             ("instantiated_classes", &mut self.instantiated_classes),
+            ("cg_worklist_pops", &mut self.cg_worklist_pops),
+            ("cg_ready_drains", &mut self.cg_ready_drains),
             ("scan_reads", &mut self.scan_reads),
             ("scan_address_taken", &mut self.scan_address_taken),
             ("scan_ptr_to_member", &mut self.scan_ptr_to_member),
@@ -160,6 +171,10 @@ pub struct ExecStats {
     pub worklist_pushes: u64,
     /// Worker idle→busy transitions (one per scan command processed).
     pub worker_busy_transitions: u64,
+    /// Per-round delta-batch sizes of the call-graph fixpoint: entry `r`
+    /// is how many worklist slots round `r` processed. Empty when no
+    /// propagating build ran (e.g. the `Everything` algorithm).
+    pub cg_round_deltas: Vec<u64>,
 }
 
 impl ExecStats {
@@ -380,6 +395,17 @@ impl Telemetry {
         out.push_str(&format!(
             "{:<44} {:>12}\n",
             "scan_sequential_fastpath", stats.scan_sequential_fastpath
+        ));
+        let deltas = stats
+            .cg_round_deltas
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "{:<44} {:>12}\n",
+            "cg_round_deltas",
+            format!("[{deltas}]")
         ));
         out
     }

@@ -54,6 +54,29 @@ echo "== delta worklist: counter determinism across jobs x engines =="
 # invariants (pops > 0, per-round delta sizes engine/jobs-invariant).
 cargo test --release --test worklist_equivalence worklist_telemetry_is_identical_across_engines_and_jobs
 
+echo "== project cache: equivalence and invalidation =="
+cargo test --release --test project_cache
+
+echo "== project cache: cold-vs-warm CLI smoke (byte-identical, zero warm work) =="
+rm -rf /tmp/ddm_ci_cache
+cargo run --release --bin ddm -- crates/benchmarks/programs/multi/*.cpp \
+    --engine summary --cache-dir /tmp/ddm_ci_cache --stats \
+    > /tmp/ddm_ci_cold.out 2> /tmp/ddm_ci_cold.err
+cargo run --release --bin ddm -- crates/benchmarks/programs/multi/*.cpp \
+    --engine summary --cache-dir /tmp/ddm_ci_cache --stats \
+    > /tmp/ddm_ci_warm.out 2> /tmp/ddm_ci_warm.err
+cmp /tmp/ddm_ci_cold.out /tmp/ddm_ci_warm.out
+# The warm run must hit the cache for every TU and summarize none.
+grep -Eq 'tus_summarized +0$' /tmp/ddm_ci_warm.err
+grep -Eq 'tu_cache_hits +3$' /tmp/ddm_ci_warm.err
+rm -rf /tmp/ddm_ci_cache /tmp/ddm_ci_cold.out /tmp/ddm_ci_cold.err \
+    /tmp/ddm_ci_warm.out /tmp/ddm_ci_warm.err
+
+echo "== incremental bench smoke (gating: wall-clock ceiling enforced in-binary) =="
+cargo run --release -p ddm-bench --bin bench_incremental -- --smoke --json > /dev/null
+test -s BENCH_incremental_smoke.json
+rm -f BENCH_incremental_smoke.json
+
 echo "== bench suite smoke (non-gating on time) =="
 cargo run --release -p ddm-bench --bin bench_suite -- --json --samples 3 > /dev/null
 test -s BENCH_suite.json

@@ -1,0 +1,319 @@
+//! Incremental re-analysis benchmark for the multi-TU project pipeline:
+//! generated N-TU projects where every TU repeats the shared header (the
+//! front end has no preprocessor) and contributes its own free
+//! functions, called from the driver TU through cross-TU prototypes.
+//!
+//! For each project size the driver times three scenarios against the
+//! persistent summary cache:
+//!
+//! * **cold** — empty cache: every TU is parsed, summarized, and written
+//!   back;
+//! * **warm** — populated cache: zero TUs are parsed or summarized
+//!   (asserted in-binary), only the link + fixpoint phases run;
+//! * **1-of-N changed** — one TU's content is modified before each
+//!   sample, so exactly one TU misses and is recomputed while the other
+//!   N−1 hit.
+//!
+//! Warm runs must also produce the byte-identical report to a cold run —
+//! the cache may only change wall-clock, never output.
+//!
+//! ```text
+//! bench_incremental [--json] [--samples N] [--smoke]
+//! ```
+//!
+//! `--json` writes `BENCH_incremental.json`. `--smoke` runs only the
+//! smallest size with one sample and fails if it exceeds a wall-clock
+//! ceiling — the CI gate.
+
+use ddm_bench::timing;
+use ddm_callgraph::Algorithm;
+use ddm_core::{AnalysisConfig, Engine, ProjectPipeline};
+use ddm_telemetry::Telemetry;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Wall-clock ceiling for `--smoke` (generation + all three scenarios).
+const SMOKE_CEILING: Duration = Duration::from_secs(30);
+
+#[derive(Clone, Copy)]
+struct ProjectConfig {
+    /// Translation units, including the driver TU.
+    tus: usize,
+    /// Classes in the shared header (a single-inheritance chain).
+    classes: usize,
+    /// Free functions defined by each non-driver TU.
+    fns_per_tu: usize,
+}
+
+struct SizeResult {
+    name: &'static str,
+    config: ProjectConfig,
+    functions: usize,
+    cold: Duration,
+    warm: Duration,
+    one_changed: Duration,
+}
+
+fn sizes(smoke: bool) -> Vec<(&'static str, ProjectConfig)> {
+    let mut v = vec![(
+        "small",
+        ProjectConfig {
+            tus: 8,
+            classes: 4,
+            fns_per_tu: 6,
+        },
+    )];
+    if !smoke {
+        v.push((
+            "medium",
+            ProjectConfig {
+                tus: 24,
+                classes: 6,
+                fns_per_tu: 10,
+            },
+        ));
+        v.push((
+            "large",
+            ProjectConfig {
+                tus: 64,
+                classes: 8,
+                fns_per_tu: 12,
+            },
+        ));
+    }
+    v
+}
+
+/// The shared header: a single-inheritance chain where every class adds
+/// one live member (read by `get`) and one dead member (only written).
+fn header(classes: usize) -> String {
+    let mut h = String::new();
+    for c in 0..classes {
+        let base = if c == 0 {
+            String::new()
+        } else {
+            format!(" : public C{}", c - 1)
+        };
+        let init = if c == 0 {
+            format!("m{c}(v), d{c}(0)")
+        } else {
+            format!("C{}(v), m{c}(v), d{c}(0)", c - 1)
+        };
+        let get = {
+            // Each override reads its own member plus every inherited
+            // one, keeping all `m*` live at every instantiation depth.
+            let sum: Vec<String> = (0..=c).map(|i| format!("m{i}")).collect();
+            format!("return {};", sum.join(" + "))
+        };
+        let _ = writeln!(
+            h,
+            "class C{c}{base} {{\npublic:\n    C{c}(int v) : {init} {{ }}\n    \
+             virtual ~C{c}() {{ }}\n    virtual int get() {{ {get} }}\n    \
+             int m{c};\n    int d{c};\n}};"
+        );
+    }
+    h
+}
+
+/// Generates the project: TU 0 is the driver (prototypes + `main`),
+/// TUs 1..N each define `fns_per_tu` free functions over the hierarchy.
+fn generate_project(config: &ProjectConfig) -> Vec<(String, String)> {
+    let header = header(config.classes);
+    let top = config.classes - 1;
+    let mut inputs = Vec::with_capacity(config.tus);
+
+    let mut driver = header.clone();
+    for t in 1..config.tus {
+        for f in 0..config.fns_per_tu {
+            let _ = writeln!(driver, "int tu{t}_f{f}(C0* o);");
+        }
+    }
+    let _ = writeln!(driver, "int main() {{");
+    let _ = writeln!(driver, "    C0* o = new C{top}(5);");
+    let _ = writeln!(driver, "    int r = 0;");
+    for t in 1..config.tus {
+        for f in 0..config.fns_per_tu {
+            let _ = writeln!(driver, "    r = r + tu{t}_f{f}(o);");
+        }
+    }
+    let _ = writeln!(driver, "    delete o;");
+    let _ = writeln!(driver, "    return r;");
+    let _ = writeln!(driver, "}}");
+    inputs.push(("driver.cpp".to_string(), driver));
+
+    for t in 1..config.tus {
+        let mut tu = header.clone();
+        for f in 0..config.fns_per_tu {
+            let _ = writeln!(
+                tu,
+                "int tu{t}_f{f}(C0* o) {{ o->d0 = {f}; return o->get() + {f}; }}"
+            );
+        }
+        inputs.push((format!("tu{t}.cpp"), tu));
+    }
+    inputs
+}
+
+fn run(inputs: &[(String, String)], cache: &Path, telemetry: &Telemetry) -> ProjectPipeline {
+    ProjectPipeline::run(
+        inputs,
+        AnalysisConfig::default(),
+        Algorithm::Rta,
+        1,
+        Engine::Summary,
+        Some(cache),
+        telemetry,
+    )
+    .expect("project run")
+}
+
+fn measure(name: &'static str, config: ProjectConfig, samples: usize) -> SizeResult {
+    let inputs = generate_project(&config);
+    let cache = std::env::temp_dir().join(format!(
+        "ddm-bench-incr-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&cache);
+
+    // Correctness first: a warm run reuses every module and reproduces
+    // the cold report byte for byte.
+    let cold_tel = Telemetry::enabled();
+    let cold_report = run(&inputs, &cache, &cold_tel).report().to_string();
+    assert_eq!(cold_tel.stats().tus_summarized, inputs.len() as u64);
+    let warm_tel = Telemetry::enabled();
+    let warm_report = run(&inputs, &cache, &warm_tel).report().to_string();
+    let warm_stats = warm_tel.stats();
+    assert_eq!(warm_stats.tus_summarized, 0, "{name}: warm run re-summarized");
+    assert_eq!(warm_stats.tu_cache_hits, inputs.len() as u64);
+    assert_eq!(warm_report, cold_report, "{name}: warm report drifted");
+    let functions = {
+        let p = run(&inputs, &cache, &Telemetry::disabled());
+        p.program().function_count()
+    };
+
+    // Cold: empty the cache before every sample.
+    let (cold, _) = timing::time(samples, || {
+        let _ = std::fs::remove_dir_all(&cache);
+        run(&inputs, &cache, &Telemetry::disabled())
+    });
+
+    // Warm: the cache is fully populated by the last cold sample.
+    let (warm, _) = timing::time(samples, || run(&inputs, &cache, &Telemetry::disabled()));
+
+    // 1-of-N changed: give TU 1 per-sample-unique content so exactly one
+    // TU misses in every sample (an unreachable padding function keeps
+    // the analysed behaviour identical while changing the content hash).
+    let mut edition = 0usize;
+    let mut edited = inputs.clone();
+    let (one_changed, _) = timing::time(samples, || {
+        edition += 1;
+        edited[1].1 = format!("{}int pad{edition}() {{ return {edition}; }}\n", inputs[1].1);
+        let tel = Telemetry::enabled();
+        let p = run(&edited, &cache, &tel);
+        let stats = tel.stats();
+        assert_eq!(stats.tu_cache_misses, 1, "{name}: expected exactly one miss");
+        assert_eq!(stats.tu_cache_hits, inputs.len() as u64 - 1);
+        p
+    });
+
+    let _ = std::fs::remove_dir_all(&cache);
+    SizeResult {
+        name,
+        config,
+        functions,
+        cold,
+        warm,
+        one_changed,
+    }
+}
+
+fn render_json(results: &[SizeResult], samples: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"suite\": \"ddm-benchmarks incremental project cache\",\n");
+    out.push_str("  \"engine\": \"summary\",\n");
+    out.push_str("  \"algorithm\": \"rta\",\n");
+    let _ = writeln!(out, "  \"samples\": {samples},");
+    out.push_str("  \"sizes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let c = &r.config;
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"tus\": {}, \"classes\": {}, \"fns_per_tu\": {}, \"functions\": {},\n     \
+             \"cold_ns\": {}, \"warm_ns\": {}, \"one_changed_ns\": {},\n     \
+             \"warm_speedup\": {:.2}, \"one_changed_speedup\": {:.2}}}",
+            r.name,
+            c.tus,
+            c.classes,
+            c.fns_per_tu,
+            r.functions,
+            r.cold.as_nanos(),
+            r.warm.as_nanos(),
+            r.one_changed.as_nanos(),
+            r.cold.as_secs_f64() / r.warm.as_secs_f64().max(f64::EPSILON),
+            r.cold.as_secs_f64() / r.one_changed.as_secs_f64().max(f64::EPSILON),
+        );
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let samples = args
+        .iter()
+        .position(|a| a == "--samples")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(if smoke { 1 } else { 5 });
+
+    let started = Instant::now();
+    let results: Vec<SizeResult> = sizes(smoke)
+        .into_iter()
+        .map(|(name, config)| measure(name, config, samples))
+        .collect();
+
+    println!(
+        "{:<8} {:>5} {:>8} {:>14} {:>14} {:>16} {:>8} {:>8}",
+        "size", "tus", "funcs", "cold", "warm", "1-of-N changed", "warm x", "1chg x"
+    );
+    for r in &results {
+        println!(
+            "{:<8} {:>5} {:>8} {:>14.1?} {:>14.1?} {:>16.1?} {:>8.2} {:>8.2}",
+            r.name,
+            r.config.tus,
+            r.functions,
+            r.cold,
+            r.warm,
+            r.one_changed,
+            r.cold.as_secs_f64() / r.warm.as_secs_f64().max(f64::EPSILON),
+            r.cold.as_secs_f64() / r.one_changed.as_secs_f64().max(f64::EPSILON),
+        );
+    }
+
+    if json {
+        // The smoke run measures one size only — keep it away from the
+        // committed full-sweep BENCH_incremental.json.
+        let path = if smoke {
+            "BENCH_incremental_smoke.json"
+        } else {
+            "BENCH_incremental.json"
+        };
+        std::fs::write(path, render_json(&results, samples)).expect("write incremental JSON");
+        println!("wrote {path}");
+    }
+
+    if smoke {
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < SMOKE_CEILING,
+            "incremental smoke exceeded its wall-clock ceiling: {elapsed:.1?} >= {SMOKE_CEILING:?}"
+        );
+    }
+}

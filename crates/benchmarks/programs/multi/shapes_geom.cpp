@@ -1,0 +1,35 @@
+// Multi-TU sample, TU 2 of 3: geometry. Defines `total_area`, declared
+// as a prototype in shapes_main.cpp. The virtual dispatch on `area`
+// needs the whole linked hierarchy to resolve its candidate set.
+
+enum ShapeKind { KindCircle, KindRect };
+
+class Shape {
+public:
+    Shape(int k) : kind(k), tag(0) { }
+    virtual ~Shape() { }
+    virtual int area() { return 0; }
+    int kind;
+    int tag;
+};
+
+class Circle : public Shape {
+public:
+    Circle(int r) : Shape(KindCircle), radius(r), cached(0) { }
+    virtual int area() { return 3 * radius * radius; }
+    int radius;
+    int cached;
+};
+
+class Rect : public Shape {
+public:
+    Rect(int pw, int ph) : Shape(KindRect), w(pw), h(ph), perimeter(0) { }
+    virtual int area() { return w * h; }
+    int w;
+    int h;
+    int perimeter;
+};
+
+int total_area(Shape* a, Shape* b) {
+    return a->area() + b->area();
+}

@@ -1,0 +1,45 @@
+// Multi-TU sample, TU 1 of 3: the driver. The class definitions below
+// are the project's "header", textually duplicated in every TU (the
+// front end has no preprocessor); the linker merges them under ODR
+// identity. Cross-TU calls go through the body-less prototypes.
+
+enum ShapeKind { KindCircle, KindRect };
+
+class Shape {
+public:
+    Shape(int k) : kind(k), tag(0) { }
+    virtual ~Shape() { }
+    virtual int area() { return 0; }
+    int kind;
+    int tag;
+};
+
+class Circle : public Shape {
+public:
+    Circle(int r) : Shape(KindCircle), radius(r), cached(0) { }
+    virtual int area() { return 3 * radius * radius; }
+    int radius;
+    int cached;
+};
+
+class Rect : public Shape {
+public:
+    Rect(int pw, int ph) : Shape(KindRect), w(pw), h(ph), perimeter(0) { }
+    virtual int area() { return w * h; }
+    int w;
+    int h;
+    int perimeter;
+};
+
+int total_area(Shape* a, Shape* b);
+int classify(Shape* s);
+
+int main() {
+    Shape* c = new Circle(2);
+    Shape* r = new Rect(3, 4);
+    int area = total_area(c, r);
+    int kinds = classify(c) + classify(r);
+    delete c;
+    delete r;
+    return area + kinds;
+}

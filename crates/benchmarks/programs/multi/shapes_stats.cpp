@@ -1,0 +1,37 @@
+// Multi-TU sample, TU 3 of 3: statistics. Defines `classify`, declared
+// as a prototype in shapes_main.cpp. Writes `tag`, `cached`, and
+// `perimeter` without ever reading them — all three stay dead even
+// though every TU mentions them, because no reachable code reads them.
+
+enum ShapeKind { KindCircle, KindRect };
+
+class Shape {
+public:
+    Shape(int k) : kind(k), tag(0) { }
+    virtual ~Shape() { }
+    virtual int area() { return 0; }
+    int kind;
+    int tag;
+};
+
+class Circle : public Shape {
+public:
+    Circle(int r) : Shape(KindCircle), radius(r), cached(0) { }
+    virtual int area() { return 3 * radius * radius; }
+    int radius;
+    int cached;
+};
+
+class Rect : public Shape {
+public:
+    Rect(int pw, int ph) : Shape(KindRect), w(pw), h(ph), perimeter(0) { }
+    virtual int area() { return w * h; }
+    int w;
+    int h;
+    int perimeter;
+};
+
+int classify(Shape* s) {
+    s->tag = 1;
+    return s->kind;
+}

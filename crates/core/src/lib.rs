@@ -27,6 +27,7 @@ pub mod eliminate;
 pub mod explain;
 pub mod liveness;
 pub mod pipeline;
+pub mod project;
 pub mod report;
 
 pub use analysis::{AnalysisConfig, DeadMemberAnalysis, SizeofPolicy, SEQUENTIAL_SCAN_THRESHOLD};
@@ -34,4 +35,5 @@ pub use eliminate::{eliminate, Elimination, KeepReason};
 pub use explain::{explain, witness_path};
 pub use liveness::{LiveReason, Liveness, Origin};
 pub use pipeline::{AnalysisPipeline, Engine, PipelineError};
+pub use project::{config_fingerprint, ProjectError, ProjectPipeline};
 pub use report::{ClassReport, Report};

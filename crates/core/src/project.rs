@@ -1,0 +1,592 @@
+//! Multi-TU batch front end with incremental re-analysis.
+//!
+//! [`ProjectPipeline`] accepts N named sources, runs the per-TU front
+//! end (parse → model → walk-once summary → [`TuModule`] extraction)
+//! sharded across the worker pool, links the modules into one program
+//! ([`ddm_hierarchy::link`]), and drives the existing delta-fixpoint
+//! call graph and liveness over the linked result. Both engines produce
+//! bit-identical artifacts for every worker count, exactly like the
+//! single-TU [`AnalysisPipeline`](crate::AnalysisPipeline).
+//!
+//! With a cache directory, per-TU modules persist across runs keyed by
+//! the FNV-1a content hash of the TU source (plus a format version and
+//! a configuration fingerprint in the envelope). A warm run re-parses
+//! and re-summarizes only the TUs whose content changed and produces
+//! byte-identical reports, `--explain` output, and deterministic
+//! counters versus a cold cacheless run: the linked model is always
+//! assembled from module records, so a summary resolved from cache
+//! cannot drift from one extracted fresh. Only the summary engine
+//! consults the cache — the walk engine re-walks bodies and therefore
+//! always needs every parse.
+
+use crate::analysis::{AnalysisConfig, DeadMemberAnalysis};
+use crate::liveness::Liveness;
+use crate::pipeline::{Engine, PipelineError};
+use crate::report::Report;
+use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
+use ddm_cppfront::{parse, SourceMap, SourceSet};
+use ddm_hierarchy::{
+    body_walk_count, fnv1a64, hash_hex, link, used_classes, ClassId, LinkError, LinkedProgram,
+    MemberLookup, Program, ProgramSummary, TuModule, TypeError,
+};
+use ddm_telemetry::{Counters, Telemetry, LANE_MAIN};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Any error a project run can produce.
+#[derive(Debug)]
+pub enum ProjectError {
+    /// A failure attributed to one translation unit: its own parse,
+    /// semantic, or body-walk error, or an analysis-phase error traced
+    /// back to the TU whose body produced it.
+    Tu {
+        /// The TU's file name.
+        file: String,
+        /// The underlying failure.
+        error: PipelineError,
+    },
+    /// Conflicting definitions across translation units.
+    Link(LinkError),
+}
+
+impl fmt::Display for ProjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProjectError::Tu { file, error } => write!(f, "{file}: {error}"),
+            ProjectError::Link(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ProjectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProjectError::Tu { error, .. } => Some(error),
+            ProjectError::Link(e) => Some(e),
+        }
+    }
+}
+
+/// A completed multi-TU analysis run.
+#[derive(Debug)]
+pub struct ProjectPipeline {
+    sources: SourceSet,
+    files: Vec<String>,
+    linked: LinkedProgram,
+    callgraph: CallGraph,
+    liveness: Liveness,
+    used: HashSet<ClassId>,
+    config: AnalysisConfig,
+    engine: Engine,
+}
+
+/// The configuration fingerprint stored in every cache envelope. Only
+/// configuration that changes what a *per-TU summary* contains belongs
+/// here (today: whether §3.1 points-to refinement ran, which is implied
+/// by the call-graph algorithm). Options that act at link time or later
+/// — `sizeof` policy, down-cast policy, library classes — deliberately
+/// do not invalidate cached modules.
+pub fn config_fingerprint(algorithm: Algorithm) -> String {
+    format!("v1;refine={}", u8::from(algorithm == Algorithm::Pta))
+}
+
+/// The cache file for a TU with the given source hash.
+fn cache_path(dir: &Path, source_hash: u64) -> PathBuf {
+    dir.join(format!("tu-{}.json", hash_hex(source_hash)))
+}
+
+impl ProjectPipeline {
+    /// Runs the multi-TU pipeline over `inputs` (name, source) pairs.
+    ///
+    /// `cache_dir`, when set and the engine is [`Engine::Summary`],
+    /// enables the persistent module cache: entries are looked up by
+    /// content hash before the per-TU front end runs, and every freshly
+    /// computed module is written back. Cache I/O is best-effort — an
+    /// unreadable, corrupt, version-mismatched, or fingerprint-mismatched
+    /// entry counts as an invalidation and is recomputed (and
+    /// overwritten), never trusted.
+    ///
+    /// # Errors
+    ///
+    /// [`ProjectError::Tu`] for the first failing TU (by input order,
+    /// independent of worker scheduling), [`ProjectError::Link`] for
+    /// cross-TU definition conflicts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        inputs: &[(String, String)],
+        config: AnalysisConfig,
+        algorithm: Algorithm,
+        jobs: usize,
+        engine: Engine,
+        cache_dir: Option<&Path>,
+        telemetry: &Telemetry,
+    ) -> Result<ProjectPipeline, ProjectError> {
+        let walks_before = body_walk_count();
+        let fingerprint = config_fingerprint(algorithm);
+        let refine = algorithm == Algorithm::Pta;
+        let cache = match engine {
+            Engine::Summary => cache_dir,
+            // The walk engine re-walks every body, so it needs every
+            // parse regardless; it neither reads nor writes the cache.
+            Engine::Walk => None,
+        };
+
+        // --- Cache probe: content-hash every input, load what we can. ---
+        let mut hits = 0u64;
+        let mut invalidations = 0u64;
+        let hashes: Vec<u64> = inputs
+            .iter()
+            .map(|(_, source)| fnv1a64(source.as_bytes()))
+            .collect();
+        let mut modules: Vec<Option<TuModule>> = {
+            let _probe = telemetry.span(LANE_MAIN, || {
+                format!("cache probe ({} TUs)", inputs.len())
+            });
+            inputs
+                .iter()
+                .zip(&hashes)
+                .map(|((file, _), &hash)| {
+                    let dir = cache?;
+                    let doc = match std::fs::read_to_string(cache_path(dir, hash)) {
+                        Ok(doc) => doc,
+                        Err(_) => return None,
+                    };
+                    match TuModule::from_json(&doc, &fingerprint, hash) {
+                        Ok(mut module) => {
+                            // Entries are keyed by content, not by path:
+                            // the same bytes under a new name hit.
+                            module.file = file.clone();
+                            hits += 1;
+                            Some(module)
+                        }
+                        Err(_) => {
+                            invalidations += 1;
+                            None
+                        }
+                    }
+                })
+                .collect()
+        };
+        let misses = inputs.len() as u64 - hits;
+
+        // --- Per-TU front end, sharded across the worker pool. Results
+        // land in input order; the first error by input index wins, no
+        // matter which worker hit it first. ---
+        let todo: Vec<usize> = (0..inputs.len()).filter(|&i| modules[i].is_none()).collect();
+        let mut parsed: Vec<Option<Program>> = inputs.iter().map(|_| None).collect();
+        {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Mutex;
+
+            let _front = telemetry.span(LANE_MAIN, || {
+                format!("tu front end ({} of {} TUs)", todo.len(), inputs.len())
+            });
+            let workers = jobs.max(1).min(todo.len().max(1));
+            let next = AtomicUsize::new(0);
+            type TuOutcome = Result<(TuModule, Program), PipelineError>;
+            let slots: Vec<Mutex<Option<TuOutcome>>> =
+                todo.iter().map(|_| Mutex::new(None)).collect();
+
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let lane = u32::try_from(w + 1).unwrap_or(u32::MAX);
+                    let next = &next;
+                    let slots = &slots;
+                    let todo = &todo;
+                    scope.spawn(move || loop {
+                        let n = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = todo.get(n) else {
+                            break;
+                        };
+                        let (file, source) = &inputs[i];
+                        let _tu_span = telemetry.span(lane, || format!("tu {file}"));
+                        let outcome = (|| {
+                            let unit = parse(source)?;
+                            let program = Program::build(&unit)?;
+                            let summary = ProgramSummary::build(&program, refine, 1);
+                            let map = SourceMap::new(file.clone(), source.clone());
+                            let module = TuModule::extract(&unit, &program, &summary, &map);
+                            Ok((module, program))
+                        })();
+                        *slots[n].lock().expect("tu slot poisoned") = Some(outcome);
+                    });
+                }
+            });
+
+            for (n, slot) in slots.into_iter().enumerate() {
+                let i = todo[n];
+                let outcome = slot
+                    .into_inner()
+                    .expect("tu slot poisoned")
+                    .expect("every TU is analysed exactly once");
+                match outcome {
+                    Ok((module, program)) => {
+                        modules[i] = Some(module);
+                        parsed[i] = Some(program);
+                    }
+                    Err(error) => {
+                        return Err(ProjectError::Tu {
+                            file: inputs[i].0.clone(),
+                            error,
+                        });
+                    }
+                }
+            }
+        }
+        let modules: Vec<TuModule> = modules
+            .into_iter()
+            .map(|m| m.expect("every TU has a module after the front end"))
+            .collect();
+
+        // --- Write back the freshly computed modules (best-effort). ---
+        if let Some(dir) = cache {
+            let _write = telemetry.span(LANE_MAIN, || {
+                format!("cache write ({} entries)", todo.len())
+            });
+            let _ = std::fs::create_dir_all(dir);
+            for &i in &todo {
+                let doc = modules[i].to_json(&fingerprint);
+                let _ = std::fs::write(cache_path(dir, hashes[i]), doc);
+            }
+        }
+
+        // --- Link. ---
+        let link_span = telemetry.span(LANE_MAIN, || format!("link ({} TUs)", modules.len()));
+        let linked = link(&modules, &parsed).map_err(ProjectError::Link)?;
+        drop(link_span);
+
+        #[cfg(debug_assertions)]
+        if engine == Engine::Summary && hits == 0 {
+            // A cold link must resolve to exactly the summary a fresh
+            // walk of the linked program would extract; the cache layer
+            // then inherits this identity byte for byte.
+            let fresh = ProgramSummary::build(linked.program(), refine, 1);
+            for i in 0..linked.program().function_count() {
+                let fid = ddm_hierarchy::FuncId::from_index(i);
+                debug_assert_eq!(
+                    linked.summary().function(fid).ok(),
+                    fresh.function(fid).ok(),
+                    "linked summary diverged from a fresh walk (fn {i})"
+                );
+            }
+            debug_assert_eq!(linked.summary().globals().ok(), fresh.globals().ok());
+        }
+
+        // --- Whole-program phases on the linked model, identical to the
+        // single-TU pipeline. ---
+        let program = linked.program();
+        let cg_options = CallGraphOptions {
+            algorithm,
+            library_classes: config
+                .library_classes
+                .iter()
+                .filter_map(|n| program.class_by_name(n))
+                .collect(),
+        };
+        let attribute = |e: TypeError| -> ProjectError {
+            let file = linked
+                .locate_error(&e)
+                .map(|t| modules[t].file.clone())
+                .unwrap_or_else(|| "<linked program>".to_string());
+            ProjectError::Tu {
+                file,
+                error: PipelineError::Type(e),
+            }
+        };
+        let (callgraph, liveness, used) = match engine {
+            Engine::Walk => {
+                let lookup = MemberLookup::new(program);
+                let cg_span = telemetry.span(LANE_MAIN, || "callgraph".to_string());
+                let callgraph = CallGraph::build_with(program, &lookup, &cg_options, telemetry)
+                    .map_err(attribute)?;
+                drop(cg_span);
+                let liveness = DeadMemberAnalysis::new(program, config.clone())
+                    .run_jobs_with(&callgraph, jobs, telemetry)
+                    .map_err(attribute)?;
+                let used_span = telemetry.span(LANE_MAIN, || "used classes".to_string());
+                let used = used_classes(program, &lookup).map_err(attribute)?;
+                drop(used_span);
+                (callgraph, liveness, used)
+            }
+            Engine::Summary => {
+                let cg_span = telemetry.span(LANE_MAIN, || "callgraph".to_string());
+                let callgraph = CallGraph::build_from_summary_with(
+                    program,
+                    linked.summary(),
+                    &cg_options,
+                    telemetry,
+                )
+                .map_err(attribute)?;
+                drop(cg_span);
+                let liveness = DeadMemberAnalysis::new(program, config.clone())
+                    .run_summary_with(linked.summary(), &callgraph, telemetry)
+                    .map_err(attribute)?;
+                let used_span = telemetry.span(LANE_MAIN, || "used classes".to_string());
+                let used = linked.summary().used_classes(program).map_err(attribute)?;
+                drop(used_span);
+                (callgraph, liveness, used)
+            }
+        };
+
+        telemetry.update_stats(|s| {
+            s.engine = engine.to_string();
+            s.jobs = jobs as u64;
+            s.bodies_walked += body_walk_count() - walks_before;
+            s.tu_modules = inputs.len() as u64;
+            s.tu_cache_hits = hits;
+            s.tu_cache_misses = misses;
+            s.tu_cache_invalidations = invalidations;
+            s.tus_parsed = todo.len() as u64;
+            s.tus_summarized = todo.len() as u64;
+        });
+        let mut tail = Counters::default();
+        tail.reachable_functions = callgraph.reachable_count() as u64;
+        tail.callgraph_edges = callgraph.edge_count() as u64;
+        tail.instantiated_classes = callgraph.instantiated().len() as u64;
+        for (cid, class) in program.classes() {
+            for idx in 0..class.members.len() {
+                let m = ddm_hierarchy::MemberRef::new(cid, idx);
+                if liveness.is_unclassifiable(m) {
+                    tail.members_unclassifiable += 1;
+                } else if liveness.is_live(m) {
+                    tail.members_live += 1;
+                } else {
+                    tail.members_dead += 1;
+                }
+            }
+        }
+        telemetry.add_counters(&tail);
+
+        let mut sources = SourceSet::new();
+        for (file, source) in inputs {
+            sources.push(SourceMap::new(file.clone(), source.clone()));
+        }
+        Ok(ProjectPipeline {
+            sources,
+            files: inputs.iter().map(|(f, _)| f.clone()).collect(),
+            linked,
+            callgraph,
+            liveness,
+            used,
+            config,
+            engine,
+        })
+    }
+
+    /// The per-TU source maps, in input order.
+    pub fn sources(&self) -> &SourceSet {
+        &self.sources
+    }
+
+    /// The input file names, in input order.
+    pub fn files(&self) -> &[String] {
+        &self.files
+    }
+
+    /// The linked whole-program view with its per-TU provenance.
+    pub fn linked(&self) -> &LinkedProgram {
+        &self.linked
+    }
+
+    /// The linked program model.
+    pub fn program(&self) -> &Program {
+        self.linked.program()
+    }
+
+    /// The call graph that scoped the analysis.
+    pub fn callgraph(&self) -> &CallGraph {
+        &self.callgraph
+    }
+
+    /// The per-member classification.
+    pub fn liveness(&self) -> &Liveness {
+        &self.liveness
+    }
+
+    /// The used-class set.
+    pub fn used(&self) -> &HashSet<ClassId> {
+        &self.used
+    }
+
+    /// The configuration the run used.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// The engine the run used.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Builds the report over the linked program.
+    pub fn report(&self) -> Report {
+        Report::new(self.linked.program(), &self.liveness, &self.used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "\
+class Sensor {
+public:
+    Sensor(int s) : reading(s), stale(0) { }
+    virtual ~Sensor() { }
+    virtual int read() { return reading; }
+    int reading;
+    int stale;
+};
+";
+
+    fn inputs() -> Vec<(String, String)> {
+        vec![
+            (
+                "main.cpp".to_string(),
+                format!("{HEADER}int poll(Sensor* s);\nint main() {{ Sensor s(4); return poll(&s); }}"),
+            ),
+            (
+                "poll.cpp".to_string(),
+                format!("{HEADER}int poll(Sensor* s) {{ return s->read(); }}"),
+            ),
+        ]
+    }
+
+    fn run(
+        inputs: &[(String, String)],
+        engine: Engine,
+        jobs: usize,
+        cache: Option<&Path>,
+    ) -> ProjectPipeline {
+        ProjectPipeline::run(
+            inputs,
+            AnalysisConfig::default(),
+            Algorithm::Rta,
+            jobs,
+            engine,
+            cache,
+            &Telemetry::disabled(),
+        )
+        .expect("project run")
+    }
+
+    #[test]
+    fn engines_and_worker_counts_agree_on_the_linked_report() {
+        let inputs = inputs();
+        let reference = run(&inputs, Engine::Summary, 1, None).report().to_string();
+        assert!(reference.contains("Sensor"));
+        for engine in [Engine::Walk, Engine::Summary] {
+            for jobs in [1, 4] {
+                let got = run(&inputs, engine, jobs, None).report().to_string();
+                assert_eq!(got, reference, "engine={engine} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_tu_project_matches_the_single_tu_pipeline() {
+        let src = format!("{HEADER}int main() {{ Sensor s(4); return s.read(); }}");
+        let single = crate::AnalysisPipeline::from_source(&src)
+            .unwrap()
+            .report()
+            .to_string();
+        let project = run(
+            &[("one.cpp".to_string(), src)],
+            Engine::Summary,
+            1,
+            None,
+        )
+        .report()
+        .to_string();
+        assert_eq!(project, single);
+    }
+
+    #[test]
+    fn warm_run_reuses_every_module_and_matches_cold() {
+        let dir = std::env::temp_dir().join(format!("ddm-proj-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let inputs = inputs();
+
+        let cold_tel = Telemetry::enabled();
+        let cold = ProjectPipeline::run(
+            &inputs,
+            AnalysisConfig::default(),
+            Algorithm::Rta,
+            2,
+            Engine::Summary,
+            Some(&dir),
+            &cold_tel,
+        )
+        .unwrap();
+        let cold_stats = cold_tel.stats();
+        assert_eq!(cold_stats.tu_cache_hits, 0);
+        assert_eq!(cold_stats.tus_summarized, 2);
+
+        let warm_tel = Telemetry::enabled();
+        let warm = ProjectPipeline::run(
+            &inputs,
+            AnalysisConfig::default(),
+            Algorithm::Rta,
+            2,
+            Engine::Summary,
+            Some(&dir),
+            &warm_tel,
+        )
+        .unwrap();
+        let warm_stats = warm_tel.stats();
+        assert_eq!(warm_stats.tu_cache_hits, 2);
+        assert_eq!(warm_stats.tus_parsed, 0);
+        assert_eq!(warm_stats.tus_summarized, 0);
+
+        assert_eq!(warm.report().to_string(), cold.report().to_string());
+        assert_eq!(
+            format!("{:?}", warm_tel.counters().rows()),
+            format!("{:?}", cold_tel.counters().rows()),
+            "deterministic counters must not see the cache"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn per_tu_errors_carry_their_file() {
+        let mut bad = inputs();
+        bad[1].1 = "class {".to_string();
+        let err = ProjectPipeline::run(
+            &bad,
+            AnalysisConfig::default(),
+            Algorithm::Rta,
+            4,
+            Engine::Summary,
+            None,
+            &Telemetry::disabled(),
+        )
+        .unwrap_err();
+        match err {
+            ProjectError::Tu { file, error } => {
+                assert_eq!(file, "poll.cpp");
+                assert!(matches!(error, PipelineError::Parse(_)));
+            }
+            other => panic!("expected a TU error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn link_conflicts_surface_as_link_errors() {
+        let a = ("a.cpp".to_string(), "int twice() { return 1; }\nint main() { return twice(); }".to_string());
+        let b = ("b.cpp".to_string(), "int twice() { return 2; }".to_string());
+        let err = ProjectPipeline::run(
+            &[a, b],
+            AnalysisConfig::default(),
+            Algorithm::Rta,
+            1,
+            Engine::Summary,
+            None,
+            &Telemetry::disabled(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProjectError::Link(_)));
+        assert!(err.to_string().contains("function `twice` defined differently"));
+    }
+}

@@ -133,6 +133,61 @@ impl SourceMap {
     }
 }
 
+/// A collection of per-TU [`SourceMap`]s: the provenance table of a
+/// multi-TU (project-mode) run.
+///
+/// All spans in a linked program remain byte offsets **into their own
+/// translation unit**; a diagnostic is rendered by pairing the span with
+/// the TU it came from. `SourceSet` owns the maps, keyed by the position
+/// the file was given on the command line (which is also the link
+/// order).
+#[derive(Debug, Clone, Default)]
+pub struct SourceSet {
+    maps: Vec<SourceMap>,
+}
+
+impl SourceSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        SourceSet::default()
+    }
+
+    /// Appends a TU and returns its index.
+    pub fn push(&mut self, map: SourceMap) -> usize {
+        self.maps.push(map);
+        self.maps.len() - 1
+    }
+
+    /// The map for TU `index`, if present.
+    pub fn get(&self, index: usize) -> Option<&SourceMap> {
+        self.maps.get(index)
+    }
+
+    /// Number of TUs in the set.
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    /// Iterates the maps in TU (command-line) order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &SourceMap> {
+        self.maps.iter()
+    }
+
+    /// Renders `span` of TU `index` as `file:line:col`. Falls back to the
+    /// bare span when the TU index is unknown.
+    pub fn locate(&self, index: usize, span: Span) -> String {
+        match self.get(index) {
+            Some(map) => format!("{}:{}", map.name(), map.lookup(span.lo)),
+            None => format!("<tu {index}>:{span}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +247,20 @@ mod tests {
         let map = SourceMap::new("t.cpp", "");
         assert_eq!(map.line_count(), 1);
         assert_eq!(map.loc(), 0);
+    }
+
+    #[test]
+    fn source_set_locates_spans_per_tu() {
+        let mut set = SourceSet::new();
+        assert!(set.is_empty());
+        let a = set.push(SourceMap::new("a.cpp", "int x;\nint y;\n"));
+        let b = set.push(SourceMap::new("b.cpp", "int z;\n"));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.locate(0, Span::new(7, 12)), "a.cpp:2:1");
+        assert_eq!(set.locate(1, Span::new(4, 5)), "b.cpp:1:5");
+        assert_eq!(set.locate(9, Span::new(4, 5)), "<tu 9>:4..5");
+        let names: Vec<&str> = set.iter().map(SourceMap::name).collect();
+        assert_eq!(names, ["a.cpp", "b.cpp"]);
     }
 }

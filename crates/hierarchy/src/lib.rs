@@ -27,8 +27,10 @@
 pub mod bitset;
 pub mod ids;
 pub mod layout;
+pub mod link;
 pub mod lookup;
 pub mod model;
+pub mod module;
 pub mod pta;
 pub mod subobject;
 pub mod summary;
@@ -38,10 +40,16 @@ pub mod used;
 pub use bitset::{ClassBitSet, DenseBitSet, FuncBitSet};
 pub use ids::{ClassId, FuncId, MemberRef};
 pub use layout::{ClassLayout, FieldSlot, LayoutEngine};
+pub use link::{link, LinkError, LinkedProgram};
 pub use lookup::{Found, LookupError, MemberLookup};
 pub use model::{
     by_value_class, BaseInfo, ClassInfo, FunctionInfo, GlobalInfo, MemberInfo, Program, SemaError,
     SemaErrorKind,
+};
+pub use module::{
+    fnv1a64, hash_hex, ClassRecord, EnumRecord, FreeFnRecord, GlobalRecord, MemberRecord,
+    MethodRecord, SymCgStep, SymFnSummary, SymFunc, SymLiveStep, SymMember, SymResolver, SymResult,
+    TuModule, MODULE_FORMAT_VERSION,
 };
 pub use subobject::{Subobject, SubobjectId, SubobjectTree};
 pub use summary::{

@@ -330,6 +330,42 @@ impl Program {
         Ok(prog)
     }
 
+    /// Assembles a program directly from already-resolved parts. Used by
+    /// the TU linker, which merges per-TU models that each went through
+    /// [`Program::build`]: types are resolved, ids are consistent, and
+    /// virtualness was propagated per TU (identical to whole-program
+    /// propagation, because a class definition always has its complete
+    /// ancestry in its own TU under the header model). The name maps are
+    /// recomputed here so they cannot disagree with the vectors.
+    pub(crate) fn assemble(
+        classes: Vec<ClassInfo>,
+        functions: Vec<FunctionInfo>,
+        globals: Vec<GlobalInfo>,
+        enum_consts: HashMap<String, i64>,
+        enum_names: HashSet<String>,
+    ) -> Program {
+        let class_by_name = classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), ClassId(i as u32)))
+            .collect();
+        let free_fn_by_name = functions
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.class.is_none())
+            .map(|(i, f)| (f.name.clone(), FuncId(i as u32)))
+            .collect();
+        Program {
+            classes,
+            functions,
+            globals,
+            enum_consts,
+            enum_names,
+            class_by_name,
+            free_fn_by_name,
+        }
+    }
+
     /// Resolves a syntactic type: checks named types exist, rewrites enum
     /// names to `int`.
     fn resolve_type(&self, ty: &Type, span: Span) -> Result<Type, SemaError> {

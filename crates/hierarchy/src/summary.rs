@@ -212,6 +212,10 @@ pub struct VirtualSite {
     /// The statically resolved declaration (the fallback target while no
     /// candidate receiver is instantiated).
     pub decl: FuncId,
+    /// The static receiver class the dispatch table was resolved
+    /// against. Propagation never consults it, but the summary cache
+    /// needs it to re-derive `candidates` after linking TUs.
+    pub receiver: ClassId,
     /// Per candidate receiver class, the override the call dispatches to.
     /// Covers every subclass of the static receiver class; the
     /// propagation phase filters by the instantiated set.
@@ -225,6 +229,9 @@ pub struct VirtualSite {
 /// A `delete` site with its destructor obligations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeleteSite {
+    /// The static class of the deleted pointer (the summary cache
+    /// re-derives the destructor obligations from it after linking).
+    pub class: ClassId,
     /// The deleted class's own destructor, if declared.
     pub dtor: Option<FuncId>,
     /// True when that destructor is virtual (dispatch applies).
@@ -437,6 +444,30 @@ impl ProgramSummary {
             let mut ex = Extractor::new(program, &lookup, None, false);
             walk_globals(program, &lookup, &mut ex).map(|()| ex.out)
         };
+        let index = MemberIndex::new(program);
+        let closures = (0..program.class_count())
+            .map(|i| containment_closure(program, ClassId::from_index(i)))
+            .collect();
+        ProgramSummary {
+            functions,
+            globals,
+            index,
+            closures,
+        }
+    }
+
+    /// Assembles a `ProgramSummary` from already-known parts: the TU
+    /// linker builds linked summaries from cached per-TU modules without
+    /// re-walking any body. `functions` must be indexed by `FuncId` of
+    /// `program` and the derived tables (member index, containment
+    /// closures) are recomputed from `program` itself, so they cannot
+    /// drift from a cold build.
+    pub(crate) fn from_parts(
+        program: &Program,
+        functions: Vec<Result<FnSummary, TypeError>>,
+        globals: Result<FnSummary, TypeError>,
+    ) -> ProgramSummary {
+        debug_assert_eq!(functions.len(), program.function_count());
         let index = MemberIndex::new(program);
         let closures = (0..program.class_count())
             .map(|i| containment_closure(program, ClassId::from_index(i)))
@@ -677,6 +708,7 @@ impl EventVisitor for Extractor<'_, '_> {
                         .to_vec();
                     self.out.cg_steps.push(CgStep::VirtualCall(VirtualSite {
                         decl: *func,
+                        receiver: *receiver_class,
                         candidates,
                         refined,
                     }));
@@ -717,6 +749,7 @@ impl EventVisitor for Extractor<'_, '_> {
             .filter_map(|a| self.program.destructor(a))
             .collect();
         self.out.cg_steps.push(CgStep::Delete(DeleteSite {
+            class,
             dtor,
             virtual_dtor,
             candidates,

@@ -83,6 +83,13 @@ impl TypeError {
         TypeError { kind, span }
     }
 
+    /// Reassembles a `TypeError` from its parts. Used by the persistent
+    /// summary cache, which serializes errors recorded in per-TU
+    /// summaries and must reconstruct them bit-identically on a warm run.
+    pub fn from_parts(kind: TypeErrorKind, span: Span) -> Self {
+        TypeError { kind, span }
+    }
+
     /// The specific failure.
     pub fn kind(&self) -> &TypeErrorKind {
         &self.kind

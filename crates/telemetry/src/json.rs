@@ -1,9 +1,14 @@
-//! A minimal JSON syntax checker and string escaper.
+//! A minimal JSON toolkit: syntax checker, string escaper, and a small
+//! tree codec.
 //!
 //! The workspace has no serde; the trace exporter renders JSON by hand
-//! and the CI gate needs to prove the result actually parses. This is a
-//! full RFC 8259 syntax validator (values, nesting, strings with
-//! escapes, numbers) that accepts or rejects — it builds no tree.
+//! and the CI gate needs to prove the result actually parses. `validate`
+//! is a full RFC 8259 syntax validator (values, nesting, strings with
+//! escapes, numbers) that accepts or rejects without building a tree.
+//! [`Value`] / [`parse`] / [`Value::render`] add the tree form used by
+//! the persistent summary cache: integers only (the cache codec never
+//! emits floats — `parse` rejects fractions and exponents so a corrupted
+//! entry fails loudly instead of rounding silently).
 
 /// Escapes `s` for inclusion inside a JSON string literal.
 pub fn escape(s: &str) -> String {
@@ -39,6 +44,141 @@ pub fn validate(s: &str) -> Result<(), String> {
         return Err(format!("trailing data at byte {}", p.pos));
     }
     Ok(())
+}
+
+/// A parsed JSON value.
+///
+/// Numbers are restricted to `i64`: the summary-cache codec encodes u64
+/// hashes as hex strings and never writes floats, so any fraction or
+/// exponent in an input marks the document as foreign/corrupt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (the only number form the codec reads or writes).
+    Int(i64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order (rendering preserves insertion order).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The bool payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an `Obj`.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an `Obj` (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()?
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// Renders this value as compact JSON (no whitespace). Object field
+    /// order is preserved, so rendering is deterministic for a fixed
+    /// tree — equal trees render to byte-identical documents.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Parses `s` into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+/// Fractional or exponent numbers are errors (see [`Value`]).
+pub fn parse(s: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.tree_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
 }
 
 struct Parser<'a> {
@@ -206,6 +346,163 @@ impl Parser<'_> {
         }
         Ok(self.pos > start)
     }
+
+    // -- tree-building variants (used by `parse`) --
+
+    fn tree_value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.tree_object(),
+            Some(b'[') => self.tree_array(),
+            Some(b'"') => self.tree_string().map(Value::Str),
+            Some(b't') => self.literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.tree_int(),
+            _ => Err(format!("expected a value at byte {}", self.pos)),
+        }
+    }
+
+    fn tree_object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.tree_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.tree_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn tree_array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.tree_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn tree_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let mut code: u32 = 0;
+                            for _ in 0..4 {
+                                let Some(d) =
+                                    self.peek().and_then(|b| (b as char).to_digit(16))
+                                else {
+                                    return Err(format!("bad \\u escape at byte {}", self.pos));
+                                };
+                                code = code * 16 + d;
+                                self.pos += 1;
+                            }
+                            // Lone surrogates cannot form a `char`; the
+                            // codec never emits them, so reject.
+                            let Some(c) = char::from_u32(code) else {
+                                return Err(format!(
+                                    "unpaired surrogate \\u escape at byte {}",
+                                    self.pos
+                                ));
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte in string at {}", self.pos))
+                }
+                Some(_) => {
+                    // Consume the whole run of plain bytes in one step.
+                    // The terminators (`"`, `\`, control bytes) are ASCII
+                    // and never UTF-8 continuation bytes, so the run ends
+                    // on a char boundary and the slice is valid UTF-8
+                    // (the input arrived as a &str).
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn tree_int(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if !self.digits()? {
+            return Err(format!("expected a digit at byte {}", self.pos));
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(format!(
+                "non-integer number at byte {start} (the cache codec is integer-only)"
+            ));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| format!("integer out of range at byte {start}"))
+    }
 }
 
 #[cfg(test)]
@@ -251,5 +548,52 @@ mod tests {
         let tricky = "name \"with\" \\ slashes\nand\tcontrol\u{1}chars";
         let doc = format!("{{\"k\": \"{}\"}}", escape(tricky));
         assert!(validate(&doc).is_ok(), "{doc}");
+    }
+
+    #[test]
+    fn parse_builds_the_expected_tree() {
+        let v = parse("{\"a\": [1, -2, null], \"b\": {\"c\": true}, \"d\": \"x\\ny\"}").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1], Value::Int(-2));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("d").unwrap().as_str(), Some("x\ny"));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_unescapes_strings() {
+        let v = parse("\"q\\\" b\\\\ s\\/ u\\u00e9 t\\t\"").unwrap();
+        assert_eq!(v.as_str(), Some("q\" b\\ s/ u\u{e9} t\t"));
+    }
+
+    #[test]
+    fn parse_rejects_floats_and_garbage() {
+        for doc in ["1.5", "1e3", "-2.0", "{", "[1,]", "nul", "1 2", "\"\\ud800\""] {
+            assert!(parse(doc).is_err(), "should reject {doc:?}");
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip_is_identity() {
+        let tree = Value::Obj(vec![
+            ("version".to_string(), Value::Int(1)),
+            (
+                "items".to_string(),
+                Value::Arr(vec![
+                    Value::Null,
+                    Value::Bool(false),
+                    Value::Str("tricky \"\\\n\t".to_string()),
+                    Value::Int(i64::MIN),
+                    Value::Int(i64::MAX),
+                ]),
+            ),
+            ("empty_obj".to_string(), Value::Obj(Vec::new())),
+            ("empty_arr".to_string(), Value::Arr(Vec::new())),
+        ]);
+        let doc = tree.render();
+        assert!(validate(&doc).is_ok(), "{doc}");
+        assert_eq!(parse(&doc).unwrap(), tree);
+        // Rendering is deterministic: a second render is byte-identical.
+        assert_eq!(tree.render(), doc);
     }
 }

@@ -171,6 +171,19 @@ pub struct ExecStats {
     pub worklist_pushes: u64,
     /// Worker idle→busy transitions (one per scan command processed).
     pub worker_busy_transitions: u64,
+    /// Translation units in the project (multi-TU runs; single-TU: 0).
+    pub tu_modules: u64,
+    /// Per-TU summary modules served from the persistent cache.
+    pub tu_cache_hits: u64,
+    /// TUs whose cache entry was absent (recomputed and written back).
+    pub tu_cache_misses: u64,
+    /// Cache entries discarded as corrupt, version-mismatched, or
+    /// fingerprint-mismatched (a subset of the misses).
+    pub tu_cache_invalidations: u64,
+    /// TUs actually parsed this run.
+    pub tus_parsed: u64,
+    /// TUs actually summarized (walked) this run.
+    pub tus_summarized: u64,
     /// Per-round delta-batch sizes of the call-graph fixpoint: entry `r`
     /// is how many worklist slots round `r` processed. Empty when no
     /// propagating build ran (e.g. the `Everything` algorithm).
@@ -179,7 +192,7 @@ pub struct ExecStats {
 
 impl ExecStats {
     /// Stable (key, value) view of the numeric fields, in rendering order.
-    pub fn rows(&self) -> [(&'static str, u64); 9] {
+    pub fn rows(&self) -> [(&'static str, u64); 15] {
         [
             ("jobs", self.jobs),
             ("bodies_walked", self.bodies_walked),
@@ -190,6 +203,12 @@ impl ExecStats {
             ("liveness_merges", self.liveness_merges),
             ("worklist_pushes", self.worklist_pushes),
             ("worker_busy_transitions", self.worker_busy_transitions),
+            ("tu_modules", self.tu_modules),
+            ("tu_cache_hits", self.tu_cache_hits),
+            ("tu_cache_misses", self.tu_cache_misses),
+            ("tu_cache_invalidations", self.tu_cache_invalidations),
+            ("tus_parsed", self.tus_parsed),
+            ("tus_summarized", self.tus_summarized),
         ]
     }
 }

@@ -5,10 +5,11 @@
 //! parser cannot drift apart.
 
 use dead_data_members::analysis::{
-    eliminate, explain, AnalysisConfig, AnalysisPipeline, Engine, SizeofPolicy,
+    eliminate, explain, AnalysisConfig, AnalysisPipeline, Engine, ProjectPipeline, SizeofPolicy,
 };
-use dead_data_members::callgraph::Algorithm;
+use dead_data_members::callgraph::{Algorithm, CallGraph};
 use dead_data_members::dynamic::{profile_trace, Interpreter, RunConfig};
+use dead_data_members::hierarchy::Program;
 use dead_data_members::telemetry::Telemetry;
 use std::process::ExitCode;
 
@@ -73,12 +74,17 @@ const FLAGS: &[(&str, &str, &str)] = &[
         "<Class::member>",
         "print why the member is live/dead/unclassifiable instead of the report",
     ),
+    (
+        "--cache-dir",
+        "<dir>",
+        "persist per-TU summary modules; warm runs re-analyse only changed files",
+    ),
     ("--help", "", "show this help"),
 ];
 
 /// The usage text, rendered from [`FLAGS`].
 fn usage() -> String {
-    let mut out = String::from("usage: ddm <file.cpp> [options]\n\noptions:\n");
+    let mut out = String::from("usage: ddm <file.cpp> [more.cpp ...] [options]\n\noptions:\n");
     let width = FLAGS
         .iter()
         .map(|(name, arg, _)| name.len() + if arg.is_empty() { 0 } else { arg.len() + 1 })
@@ -96,7 +102,7 @@ fn usage() -> String {
 }
 
 struct Options {
-    file: String,
+    files: Vec<String>,
     algorithm: Algorithm,
     engine: Engine,
     jobs: usize,
@@ -110,12 +116,27 @@ struct Options {
     stats: bool,
     trace_out: Option<String>,
     explain_spec: Option<String>,
+    cache_dir: Option<String>,
+}
+
+/// Consumes the value of a value-taking flag. A following argument that
+/// looks like another flag is *not* swallowed as the value — so
+/// `ddm a.cpp --trace-out --stats` fails loudly instead of writing a
+/// trace file literally named `--stats`.
+fn take_value(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> Result<String, String> {
+    match args.next() {
+        Some(v) if !v.starts_with('-') => Ok(v),
+        _ => Err(format!("{flag} needs a value")),
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let mut opts = Options {
-        file: String::new(),
+        files: Vec::new(),
         algorithm: Algorithm::Rta,
         engine: Engine::default(),
         jobs: 1,
@@ -129,11 +150,12 @@ fn parse_args() -> Result<Options, String> {
         stats: false,
         trace_out: None,
         explain_spec: None,
+        cache_dir: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--callgraph" => {
-                let v = args.next().ok_or("--callgraph needs a value")?;
+                let v = take_value(&mut args, "--callgraph")?;
                 opts.algorithm = match v.as_str() {
                     "rta" => Algorithm::Rta,
                     "pta" => Algorithm::Pta,
@@ -143,7 +165,7 @@ fn parse_args() -> Result<Options, String> {
                 };
             }
             "--engine" => {
-                let v = args.next().ok_or("--engine needs a value")?;
+                let v = take_value(&mut args, "--engine")?;
                 opts.engine = match v.as_str() {
                     "summary" => Engine::Summary,
                     "walk" => Engine::Walk,
@@ -151,7 +173,7 @@ fn parse_args() -> Result<Options, String> {
                 };
             }
             "--jobs" => {
-                let v = args.next().ok_or("--jobs needs a value")?;
+                let v = take_value(&mut args, "--jobs")?;
                 opts.jobs = v
                     .parse::<usize>()
                     .map_err(|_| format!("--jobs needs a positive integer, got `{v}`"))?;
@@ -160,7 +182,7 @@ fn parse_args() -> Result<Options, String> {
                 }
             }
             "--library" => {
-                let v = args.next().ok_or("--library needs a value")?;
+                let v = take_value(&mut args, "--library")?;
                 opts.library
                     .extend(v.split(',').map(|s| s.trim().to_string()));
             }
@@ -170,25 +192,40 @@ fn parse_args() -> Result<Options, String> {
             "--profile" => opts.profile = true,
             "--layout" => opts.layout = true,
             "--eliminate" => {
-                opts.eliminate_to = Some(args.next().ok_or("--eliminate needs a path")?);
+                opts.eliminate_to = Some(take_value(&mut args, "--eliminate")?);
             }
             "--stats" => opts.stats = true,
             "--trace-out" => {
-                opts.trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+                opts.trace_out = Some(take_value(&mut args, "--trace-out")?);
             }
             "--explain" => {
-                opts.explain_spec =
-                    Some(args.next().ok_or("--explain needs a Class::member spec")?);
+                opts.explain_spec = Some(take_value(&mut args, "--explain")?);
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(take_value(&mut args, "--cache-dir")?);
             }
             "--help" | "-h" => return Err("help".to_string()),
-            other if opts.file.is_empty() && !other.starts_with('-') => {
-                opts.file = other.to_string();
+            other if !other.starts_with('-') => {
+                opts.files.push(other.to_string());
             }
-            other => return Err(format!("unknown argument `{other}`")),
+            other => return Err(format!("unknown flag `{other}` (see --help)")),
         }
     }
-    if opts.file.is_empty() {
+    if opts.files.is_empty() {
         return Err("no input file given".to_string());
+    }
+    if opts.files.len() > 1 || opts.cache_dir.is_some() {
+        for (flag, on) in [
+            ("--run", opts.run),
+            ("--profile", opts.profile),
+            ("--eliminate", opts.eliminate_to.is_some()),
+        ] {
+            if on {
+                return Err(format!(
+                    "{flag} needs single-file mode (one input, no --cache-dir)"
+                ));
+            }
+        }
     }
     Ok(opts)
 }
@@ -227,16 +264,60 @@ fn main() -> ExitCode {
     code
 }
 
-fn run(opts: &Options, telemetry: &Telemetry) -> ExitCode {
-    let source = match std::fs::read_to_string(&opts.file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", opts.file);
-            return ExitCode::from(2);
-        }
-    };
+/// Prints the report, the call-graph line, and (optionally) the layout
+/// table — the output shared by single-file and project mode.
+fn print_analysis(
+    program: &Program,
+    callgraph: &CallGraph,
+    liveness: &dead_data_members::analysis::Liveness,
+    report: &dead_data_members::analysis::Report,
+    layout: bool,
+) {
+    println!("{report}");
+    println!(
+        "call graph ({}): {} reachable functions, {} edges",
+        callgraph.algorithm(),
+        callgraph.reachable_count(),
+        callgraph.edge_count()
+    );
 
-    let config = AnalysisConfig {
+    if layout {
+        use dead_data_members::hierarchy::LayoutEngine;
+        let layouts = LayoutEngine::new(program);
+        for (cid, class) in program.classes() {
+            let layout = layouts.layout(cid);
+            println!(
+                "layout {} : size {} align {}{}{}",
+                class.name,
+                layout.size,
+                layout.align,
+                if layout.has_vptr { ", vptr" } else { "" },
+                if layout.overhead > 0 {
+                    format!(", {} overhead bytes", layout.overhead)
+                } else {
+                    String::new()
+                }
+            );
+            for slot in &layout.fields {
+                let owner = &program.class(slot.member.class).name;
+                let member =
+                    &program.class(slot.member.class).members[slot.member.index as usize];
+                let marker = if liveness.is_dead(slot.member) {
+                    " [DEAD]"
+                } else {
+                    ""
+                };
+                println!(
+                    "    +{:<4} {:<4} {}::{}{}",
+                    slot.offset, slot.size, owner, member.name, marker
+                );
+            }
+        }
+    }
+}
+
+fn analysis_config(opts: &Options) -> AnalysisConfig {
+    AnalysisConfig {
         sizeof_policy: if opts.sizeof_conservative {
             SizeofPolicy::Conservative
         } else {
@@ -244,10 +325,84 @@ fn run(opts: &Options, telemetry: &Telemetry) -> ExitCode {
         },
         assume_safe_downcasts: !opts.unsafe_downcasts,
         library_classes: opts.library.iter().cloned().collect(),
+    }
+}
+
+/// Multi-file (or cached) mode: the batch front end with the persistent
+/// summary cache.
+fn run_project(opts: &Options, telemetry: &Telemetry) -> ExitCode {
+    let mut inputs = Vec::with_capacity(opts.files.len());
+    for file in &opts.files {
+        match std::fs::read_to_string(file) {
+            Ok(s) => inputs.push((file.clone(), s)),
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let project = match ProjectPipeline::run(
+        &inputs,
+        analysis_config(opts),
+        opts.algorithm,
+        opts.jobs,
+        opts.engine,
+        opts.cache_dir.as_deref().map(std::path::Path::new),
+        telemetry,
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
+
+    if let Some(spec) = &opts.explain_spec {
+        match explain(project.program(), project.callgraph(), project.liveness(), spec) {
+            Ok(text) => {
+                print!("{text}");
+                return ExitCode::SUCCESS;
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report_span = telemetry.span(dead_data_members::telemetry::LANE_MAIN, || {
+        "report".to_string()
+    });
+    let report = project.report();
+    print_analysis(
+        project.program(),
+        project.callgraph(),
+        project.liveness(),
+        &report,
+        opts.layout,
+    );
+    drop(report_span);
+
+    ExitCode::SUCCESS
+}
+
+fn run(opts: &Options, telemetry: &Telemetry) -> ExitCode {
+    if opts.files.len() > 1 || opts.cache_dir.is_some() {
+        return run_project(opts, telemetry);
+    }
+    let file = &opts.files[0];
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
     let pipeline = match AnalysisPipeline::with_config_telemetry(
         &source,
-        config,
+        analysis_config(opts),
         opts.algorithm,
         opts.jobs,
         opts.engine,
@@ -278,48 +433,14 @@ fn run(opts: &Options, telemetry: &Telemetry) -> ExitCode {
         "report".to_string()
     });
     let report = pipeline.report();
-    println!("{report}");
-    println!(
-        "call graph ({}): {} reachable functions, {} edges",
-        pipeline.callgraph().algorithm(),
-        pipeline.callgraph().reachable_count(),
-        pipeline.callgraph().edge_count()
+    print_analysis(
+        pipeline.program(),
+        pipeline.callgraph(),
+        pipeline.liveness(),
+        &report,
+        opts.layout,
     );
     drop(report_span);
-
-    if opts.layout {
-        use dead_data_members::hierarchy::LayoutEngine;
-        let layouts = LayoutEngine::new(pipeline.program());
-        for (cid, class) in pipeline.program().classes() {
-            let layout = layouts.layout(cid);
-            println!(
-                "layout {} : size {} align {}{}{}",
-                class.name,
-                layout.size,
-                layout.align,
-                if layout.has_vptr { ", vptr" } else { "" },
-                if layout.overhead > 0 {
-                    format!(", {} overhead bytes", layout.overhead)
-                } else {
-                    String::new()
-                }
-            );
-            for slot in &layout.fields {
-                let owner = &pipeline.program().class(slot.member.class).name;
-                let member = &pipeline.program().class(slot.member.class).members
-                    [slot.member.index as usize];
-                let marker = if pipeline.liveness().is_dead(slot.member) {
-                    " [DEAD]"
-                } else {
-                    ""
-                };
-                println!(
-                    "    +{:<4} {:<4} {}::{}{}",
-                    slot.offset, slot.size, owner, member.name, marker
-                );
-            }
-        }
-    }
 
     if opts.run || opts.profile {
         match Interpreter::new(pipeline.program()).run(&RunConfig::default()) {

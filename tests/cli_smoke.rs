@@ -114,6 +114,7 @@ fn help_lists_every_flag_from_the_table() {
         "--stats",
         "--trace-out",
         "--explain",
+        "--cache-dir",
     ] {
         assert!(stderr.contains(flag), "help is missing {flag}:\n{stderr}");
     }
@@ -210,6 +211,140 @@ fn explain_unknown_member_exits_2() {
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("no data member"), "{stderr}");
+}
+
+#[test]
+fn value_flags_reject_a_following_flag_as_their_value() {
+    // `ddm a.cpp --trace-out --stats` must not write a trace file
+    // literally named `--stats`; every value-taking flag errors out.
+    let src = write_temp("flagval", SAMPLE);
+    for flag in [
+        "--trace-out",
+        "--eliminate",
+        "--explain",
+        "--library",
+        "--callgraph",
+        "--engine",
+        "--jobs",
+        "--cache-dir",
+    ] {
+        let out = ddm()
+            .arg(&src)
+            .arg(flag)
+            .arg("--stats")
+            .output()
+            .expect("run ddm");
+        assert_eq!(out.status.code(), Some(2), "{flag}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(&format!("{flag} needs a value")),
+            "{flag}:\n{stderr}"
+        );
+    }
+    assert!(
+        !std::path::Path::new("--stats").exists(),
+        "a file named `--stats` was created"
+    );
+}
+
+#[test]
+fn unknown_flags_suggest_help() {
+    let out = ddm().arg("--frobnicate").output().expect("run ddm");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag `--frobnicate`"), "{stderr}");
+    assert!(stderr.contains("--help"), "{stderr}");
+}
+
+const MULTI_HEADER: &str = "class Gauge {\n\
+                            public:\n\
+                            \x20   Gauge(int v) : value(v), spare(0) { }\n\
+                            \x20   virtual ~Gauge() { }\n\
+                            \x20   virtual int get() { return value; }\n\
+                            \x20   int value;\n\
+                            \x20   int spare;\n\
+                            };\n";
+
+fn write_multi(test: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+    let main = write_temp(
+        &format!("{test}_main"),
+        &format!("{MULTI_HEADER}int sample(Gauge* g);\nint main() {{ Gauge g(3); return sample(&g); }}"),
+    );
+    let lib = write_temp(
+        &format!("{test}_lib"),
+        &format!("{MULTI_HEADER}int sample(Gauge* g) {{ return g->get(); }}"),
+    );
+    (main, lib)
+}
+
+#[test]
+fn multiple_positional_files_run_the_project_pipeline() {
+    let (main, lib) = write_multi("multi");
+    let out = ddm().arg(&main).arg(&lib).output().expect("run ddm");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("live value (read)"), "{stdout}");
+    assert!(stdout.contains("DEAD spare"), "{stdout}");
+}
+
+#[test]
+fn warm_cli_run_is_byte_identical_to_cold_and_skips_summarization() {
+    let (main, lib) = write_multi("warm");
+    let cache =
+        std::env::temp_dir().join(format!("ddm_cli_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let run = || {
+        ddm()
+            .arg(&main)
+            .arg(&lib)
+            .arg("--engine")
+            .arg("summary")
+            .arg("--cache-dir")
+            .arg(&cache)
+            .arg("--stats")
+            .output()
+            .expect("run ddm")
+    };
+    let cold = run();
+    assert!(cold.status.success(), "{cold:?}");
+    let warm = run();
+    assert!(warm.status.success(), "{warm:?}");
+
+    assert_eq!(cold.stdout, warm.stdout, "warm report must be byte-identical");
+
+    // The deterministic-counters section must not see the cache; only
+    // the execution stats (cache hit/parse counts) may differ.
+    let section = |raw: &[u8]| -> String {
+        let text = String::from_utf8_lossy(raw).to_string();
+        let start = text.find("== deterministic counters ==").expect("section");
+        let end = text.find("== execution stats ==").expect("section");
+        text[start..end].to_string()
+    };
+    assert_eq!(section(&cold.stderr), section(&warm.stderr));
+
+    let warm_stderr = String::from_utf8_lossy(&warm.stderr);
+    assert!(
+        warm_stderr
+            .lines()
+            .any(|l| l.starts_with("tus_summarized") && l.trim_end().ends_with('0')),
+        "warm run should summarize zero TUs:\n{warm_stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn project_mode_rejects_single_file_only_flags() {
+    let (main, lib) = write_multi("gate");
+    let out = ddm()
+        .arg(&main)
+        .arg(&lib)
+        .arg("--run")
+        .output()
+        .expect("run ddm");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--run needs single-file mode"), "{stderr}");
 }
 
 #[test]

@@ -72,6 +72,17 @@ grep -Eq 'tu_cache_hits +3$' /tmp/ddm_ci_warm.err
 rm -rf /tmp/ddm_ci_cache /tmp/ddm_ci_cold.out /tmp/ddm_ci_cold.err \
     /tmp/ddm_ci_warm.out /tmp/ddm_ci_warm.err
 
+echo "== differential fuzz: capped sweep + shrinker =="
+cargo test --release --test differential_fuzz
+
+echo "== cache torture: crash recovery + concurrent writers =="
+cargo test --release --test cache_torture
+
+echo "== fuzz smoke (gating: fixed seed block, wall-clock ceiling enforced in-binary) =="
+cargo run --release -p ddm-bench --bin bench_fuzz -- --smoke --json > /dev/null
+test -s BENCH_fuzz_smoke.json
+rm -f BENCH_fuzz_smoke.json
+
 echo "== incremental bench smoke (gating: wall-clock ceiling enforced in-binary) =="
 cargo run --release -p ddm-bench --bin bench_incremental -- --smoke --json > /dev/null
 test -s BENCH_incremental_smoke.json

@@ -19,6 +19,8 @@
 //! total space, how weak the static/dynamic correlation is — are
 //! immediate.
 
+pub mod fuzz;
+
 use ddm_benchmarks::Benchmark;
 use ddm_core::PipelineError;
 use ddm_dynamic::{profile_trace, HeapProfile, Interpreter, RunConfig, RuntimeError};

@@ -18,6 +18,13 @@
 //! cannot drift from one extracted fresh. Only the summary engine
 //! consults the cache — the walk engine re-walks bodies and therefore
 //! always needs every parse.
+//!
+//! Entries are published atomically (write to a process-unique temp
+//! file, then rename), so concurrent writers sharing one cache
+//! directory and processes killed mid-write can never leave a torn
+//! `tu-<hash>.json` behind; dangling temps are swept the next time the
+//! directory is opened. The `DDM_CACHE_FAULT` environment variable
+//! injects crashes into the write path for the torture tests.
 
 use crate::analysis::{AnalysisConfig, DeadMemberAnalysis};
 use crate::liveness::Liveness;
@@ -97,6 +104,86 @@ fn cache_path(dir: &Path, source_hash: u64) -> PathBuf {
     dir.join(format!("tu-{}.json", hash_hex(source_hash)))
 }
 
+/// Crash-injection points inside the cache write path, enabled by the
+/// `DDM_CACHE_FAULT` environment variable. Torture tests use these to
+/// prove a process dying mid-publish can never leave a torn
+/// `tu-<hash>.json` behind: the next run must recompute and produce
+/// byte-identical output with zero invalidations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheFault {
+    /// Abort after writing half of the first entry's bytes to its temp
+    /// file (a torn temp, never a torn final).
+    KillMidWrite,
+    /// Abort after fully writing the first entry's temp file but before
+    /// renaming it over the final name (a complete but unpublished temp).
+    KillPreRename,
+}
+
+/// The fault selected by `DDM_CACHE_FAULT`, read once per process.
+/// Unset or unrecognized values disable injection.
+fn cache_fault() -> Option<CacheFault> {
+    static FAULT: std::sync::OnceLock<Option<CacheFault>> = std::sync::OnceLock::new();
+    *FAULT.get_or_init(|| match std::env::var("DDM_CACHE_FAULT").as_deref() {
+        Ok("kill-mid-write") => Some(CacheFault::KillMidWrite),
+        Ok("kill-pre-rename") => Some(CacheFault::KillPreRename),
+        _ => None,
+    })
+}
+
+/// Atomically publishes one cache entry: the document is written to a
+/// process-unique temp file inside `dir`, then renamed over the final
+/// `tu-<hash>.json`. Readers therefore observe either no entry or a
+/// complete one — a crash between the write and the rename leaves only
+/// a dangling temp, which [`sweep_dangling_temps`] removes on the next
+/// open. Best-effort like all cache I/O: any failure simply means the
+/// entry is recomputed next time.
+fn publish_entry(dir: &Path, source_hash: u64, doc: &str) {
+    let tmp = dir.join(format!(
+        "tu-{}.json.tmp.{}",
+        hash_hex(source_hash),
+        std::process::id()
+    ));
+    let written = (|| -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        if cache_fault() == Some(CacheFault::KillMidWrite) {
+            f.write_all(&doc.as_bytes()[..doc.len() / 2])?;
+            let _ = f.sync_all();
+            std::process::abort();
+        }
+        f.write_all(doc.as_bytes())?;
+        Ok(())
+    })();
+    match written {
+        Ok(()) => {
+            if cache_fault() == Some(CacheFault::KillPreRename) {
+                std::process::abort();
+            }
+            let _ = std::fs::rename(&tmp, cache_path(dir, source_hash));
+        }
+        Err(_) => {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// Removes dangling `tu-*.json.tmp.*` files left by a crashed writer.
+/// Runs when a cache directory is opened for probing; racing against a
+/// live concurrent writer is harmless — the victim's rename fails and
+/// its entry is simply recomputed on its next run.
+fn sweep_dangling_temps(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("tu-") && name.contains(".json.tmp") {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
 impl ProjectPipeline {
     /// Runs the multi-TU pipeline over `inputs` (name, source) pairs.
     ///
@@ -144,6 +231,9 @@ impl ProjectPipeline {
             let _probe = telemetry.span(LANE_MAIN, || {
                 format!("cache probe ({} TUs)", inputs.len())
             });
+            if let Some(dir) = cache {
+                sweep_dangling_temps(dir);
+            }
             inputs
                 .iter()
                 .zip(&hashes)
@@ -248,7 +338,7 @@ impl ProjectPipeline {
             let _ = std::fs::create_dir_all(dir);
             for &i in &todo {
                 let doc = modules[i].to_json(&fingerprint);
-                let _ = std::fs::write(cache_path(dir, hashes[i]), doc);
+                publish_entry(dir, hashes[i], &doc);
             }
         }
 

@@ -1,0 +1,194 @@
+//! Cache robustness torture: the persistent TU-summary cache must
+//! survive crashes mid-write (fault injection via `DDM_CACHE_FAULT`)
+//! and two processes sharing one `--cache-dir` — in every case ending
+//! with output byte-identical to a cacheless cold run. The atomic
+//! temp-then-rename publish protocol guarantees no reader ever sees a
+//! torn `tu-<hash>.json`; dangling temps are swept on next open.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn ddm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ddm"))
+}
+
+/// The committed three-TU fixture project.
+fn multi_fixture() -> Vec<PathBuf> {
+    let dir = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/crates/benchmarks/programs/multi"
+    ));
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("fixture dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cpp"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 3, "expected the multi-TU fixture in {dir:?}");
+    files
+}
+
+/// Temp cache directory removed on drop, even if the test panics.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("ddm-torture-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run(cache: Option<&PathBuf>, fault: Option<&str>) -> std::process::Output {
+    let mut cmd = ddm();
+    for f in multi_fixture() {
+        cmd.arg(f);
+    }
+    cmd.arg("--engine").arg("summary");
+    if let Some(dir) = cache {
+        cmd.arg("--cache-dir").arg(dir);
+    }
+    match fault {
+        Some(f) => cmd.env("DDM_CACHE_FAULT", f),
+        None => cmd.env_remove("DDM_CACHE_FAULT"),
+    };
+    cmd.output().expect("run ddm")
+}
+
+fn cache_files(dir: &PathBuf, pred: impl Fn(&str) -> bool) -> Vec<String> {
+    match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .filter(|n| pred(n))
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Kill-mid-write: the faulted process aborts halfway through writing
+/// its first cache entry. The half-written bytes must be confined to a
+/// temp file — never a published `tu-<hash>.json` — and the next run
+/// over the same directory must sweep the temp, recompute, and print
+/// the byte-identical report to a cacheless cold run.
+#[test]
+fn kill_mid_write_leaves_no_torn_entry_and_recovers_to_cold() {
+    let cacheless = run(None, None);
+    assert!(cacheless.status.success(), "{cacheless:?}");
+
+    let scratch = Scratch::new("midwrite");
+    let faulted = run(Some(&scratch.0), Some("kill-mid-write"));
+    assert!(!faulted.status.success(), "fault must abort the process");
+
+    let published = cache_files(&scratch.0, |n| n.ends_with(".json"));
+    assert!(
+        published.is_empty(),
+        "a torn entry was published: {published:?}"
+    );
+    let temps = cache_files(&scratch.0, |n| n.contains(".json.tmp."));
+    assert!(!temps.is_empty(), "the fault did not fire inside a write");
+
+    let recovered = run(Some(&scratch.0), None);
+    assert!(recovered.status.success(), "{recovered:?}");
+    assert_eq!(
+        recovered.stdout, cacheless.stdout,
+        "recovery after kill-mid-write must match the cacheless cold report"
+    );
+    assert!(
+        cache_files(&scratch.0, |n| n.contains(".json.tmp.")).is_empty(),
+        "dangling temp files were not swept on next open"
+    );
+}
+
+/// Kill-pre-rename: the process aborts after fully writing the temp
+/// file but before the atomic rename — the published-entry set must be
+/// empty, and recovery identical to cold.
+#[test]
+fn kill_pre_rename_recovers_byte_identical_to_cold() {
+    let cacheless = run(None, None);
+    assert!(cacheless.status.success(), "{cacheless:?}");
+
+    let scratch = Scratch::new("prerename");
+    let faulted = run(Some(&scratch.0), Some("kill-pre-rename"));
+    assert!(!faulted.status.success(), "fault must abort the process");
+    assert!(
+        cache_files(&scratch.0, |n| n.ends_with(".json")).is_empty(),
+        "an entry was published despite aborting before rename"
+    );
+
+    let recovered = run(Some(&scratch.0), None);
+    assert!(recovered.status.success(), "{recovered:?}");
+    assert_eq!(recovered.stdout, cacheless.stdout);
+    assert!(
+        cache_files(&scratch.0, |n| n.contains(".json.tmp.")).is_empty(),
+        "dangling temp files were not swept"
+    );
+
+    // The swept-and-recomputed cache must now serve a warm run with the
+    // same bytes again.
+    let warm = run(Some(&scratch.0), None);
+    assert!(warm.status.success(), "{warm:?}");
+    assert_eq!(warm.stdout, cacheless.stdout);
+}
+
+/// Two processes race on one `--cache-dir`: both must succeed with the
+/// cacheless report, and the directory must end in a state that serves
+/// a warm run with those same bytes.
+#[test]
+fn concurrent_writers_sharing_one_cache_dir_agree_with_cold() {
+    let cacheless = run(None, None);
+    assert!(cacheless.status.success(), "{cacheless:?}");
+
+    let scratch = Scratch::new("concurrent");
+    for round in 0..3 {
+        // Fresh directory each round so both processes genuinely race
+        // on cold writes rather than hitting a warm cache.
+        let _ = std::fs::remove_dir_all(&scratch.0);
+        let spawn = || {
+            let mut cmd = ddm();
+            for f in multi_fixture() {
+                cmd.arg(f);
+            }
+            cmd.arg("--engine")
+                .arg("summary")
+                .arg("--cache-dir")
+                .arg(&scratch.0)
+                .env_remove("DDM_CACHE_FAULT")
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn ddm")
+        };
+        let a = spawn();
+        let b = spawn();
+        let a = a.wait_with_output().expect("wait a");
+        let b = b.wait_with_output().expect("wait b");
+        assert!(a.status.success(), "round {round} writer A: {a:?}");
+        assert!(b.status.success(), "round {round} writer B: {b:?}");
+        assert_eq!(a.stdout, cacheless.stdout, "round {round} writer A drifted");
+        assert_eq!(b.stdout, cacheless.stdout, "round {round} writer B drifted");
+    }
+
+    let warm = run(Some(&scratch.0), None);
+    assert!(warm.status.success(), "{warm:?}");
+    assert_eq!(warm.stdout, cacheless.stdout, "warm after race drifted");
+}
+
+/// A dangling temp file from a dead writer (any PID, any content) is
+/// swept the next time the cache is opened.
+#[test]
+fn stale_temps_from_dead_writers_are_swept_on_open() {
+    let scratch = Scratch::new("sweep");
+    std::fs::create_dir_all(&scratch.0).expect("mkdir");
+    let stale = scratch.0.join("tu-deadbeefdeadbeef.json.tmp.99999");
+    std::fs::write(&stale, "{half-written").expect("plant stale temp");
+
+    let out = run(Some(&scratch.0), None);
+    assert!(out.status.success(), "{out:?}");
+    assert!(!stale.exists(), "stale temp survived a cache open");
+}

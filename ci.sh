@@ -31,11 +31,16 @@ cargo test --release --test provenance_soundness
 cargo test --release --test cli_smoke
 
 echo "== telemetry: chrome trace export (--jobs 8, one lane per worker) =="
-cargo run --release --bin ddm -- crates/benchmarks/programs/deltablue.cpp \
+# The suite programs sit below the 256-function sharding thresholds and
+# run sequentially at any --jobs, so the lane check needs a generated
+# program big enough to shard eight ways (the smallest scale size).
+cargo run --release -p ddm-bench --bin bench_scale -- --emit /tmp/ddm_ci_scale.cpp \
+    > /dev/null
+cargo run --release --bin ddm -- /tmp/ddm_ci_scale.cpp \
     --jobs 8 --trace-out /tmp/ddm_ci_trace.json > /dev/null
 test -s /tmp/ddm_ci_trace.json
 grep -q '"worker-8"' /tmp/ddm_ci_trace.json
-rm -f /tmp/ddm_ci_trace.json
+rm -f /tmp/ddm_ci_trace.json /tmp/ddm_ci_scale.cpp
 
 echo "== telemetry: --explain witness chains =="
 # A known-live member: the chain must reach the livening access from main.

@@ -1,79 +1,84 @@
 //! Scaling benchmark for the delta-driven call-graph fixpoint: generated
-//! programs far beyond the paper suite's 31 functions (up to ~22k), with
+//! programs far beyond the paper suite's 31 functions (up to ~131k), with
 //! deep virtual hierarchies and long call ladders that force the fixpoint
-//! through hundreds of rounds.
+//! through dozens of park/release rounds.
 //!
 //! For each size the driver times call-graph construction under both
-//! engines (walk and summary replay), captures the delta-worklist
-//! telemetry (rounds, per-round delta sizes, worklist pops, readied-site
-//! drains), and fits the scaling exponent between consecutive sizes:
-//! `ln(t2/t1) / ln(n2/n1)`. A full-set round sweep is Θ(rounds × n) —
-//! with rounds ≈ rungs growing linearly in `n`, that is quadratic
-//! (exponent ≈ 2). The delta worklist pops each function once, so the
-//! exponent stays well under 2.
+//! engines (walk and summary replay) at one worker and at eight, captures
+//! the delta-worklist telemetry (rounds, per-round delta sizes, worklist
+//! pops, readied-site drains), and fits the scaling exponent between
+//! consecutive sizes: `ln(t2/t1) / ln(n2/n1)`. A full-set round sweep is
+//! Θ(rounds × n); the delta worklist pops each function once and the
+//! interned dense hot loops do no per-pop hashing, so the exponent stays
+//! near 1.
+//!
+//! The ladder grows by adding *chains* (independent hierarchies) at a
+//! fixed depth and rung count, so per-chain work is constant and the
+//! ideal exponent is exactly 1 — any superlinearity is the engine's own.
 //!
 //! ```text
-//! bench_scale [--json] [--samples N] [--smoke]
+//! bench_scale [--json] [--samples N] [--smoke] [--emit PATH]
 //! ```
 //!
-//! `--json` writes `BENCH_scale.json`. `--smoke` runs only the smallest
-//! size with one sample and fails if it exceeds a wall-clock ceiling —
-//! the CI gate.
+//! `--json` writes `BENCH_scale.json`. `--smoke` runs the two smallest
+//! sizes with one sample and fails on a wall-clock ceiling, a scaling
+//! exponent above [`SMOKE_EXPONENT_CEILING`], or an eight-worker run
+//! slower than one worker beyond noise — the CI gates. `--emit PATH`
+//! writes the smallest size's generated source to `PATH` so the CI
+//! trace gate has a program big enough to shard eight ways.
 
-use ddm_bench::timing;
+use ddm_bench::{effective_jobs, timing};
 use ddm_benchmarks::generator::{generate_scale, scale_function_count, ScaleConfig};
 use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
 use ddm_hierarchy::{MemberLookup, Program, ProgramSummary};
 use ddm_telemetry::Telemetry;
 use std::time::{Duration, Instant};
 
-/// Wall-clock ceiling for `--smoke` (generation + parse + both engines).
+/// Wall-clock ceiling for `--smoke` (generation + parse + both engines
+/// at both worker counts, two sizes).
 const SMOKE_CEILING: Duration = Duration::from_secs(30);
+
+/// `--smoke` fails if any adjacent-size scaling exponent exceeds this.
+/// The committed full sweep stays under 1.25; 1.4 leaves headroom for
+/// small-size noise while still catching a quadratic regression (~2)
+/// immediately.
+const SMOKE_EXPONENT_CEILING: f64 = 1.4;
+
+/// `--smoke` fails if an eight-worker run is slower than one worker by
+/// more than this factor. Sharding must pay for itself (or, clamped to
+/// one worker on a single-CPU host, be the identical schedule), so
+/// anything past noise is a regression.
+const SMOKE_JOBS_TOLERANCE: f64 = 1.15;
 
 struct SizeResult {
     name: &'static str,
     config: ScaleConfig,
     functions: usize,
     walk_cg: Duration,
+    walk_cg_j8: Duration,
     summary_cg: Duration,
+    summary_cg_j8: Duration,
     rounds: u64,
     worklist_pops: u64,
     ready_drains: u64,
     deltas: Vec<u64>,
 }
 
+/// The ladder sizes: chains quadruple while depth, methods, and rungs
+/// stay fixed, so function count quadruples with per-chain work held
+/// constant. `huge` crosses 100k functions.
 fn sizes(smoke: bool) -> Vec<(&'static str, ScaleConfig)> {
-    let mut v = vec![(
-        "small",
-        ScaleConfig {
-            chains: 4,
-            depth: 25,
-            methods_per_class: 4,
-            members_per_class: 3,
-            rungs: 250,
-        },
-    )];
+    let at = |chains| ScaleConfig {
+        chains,
+        depth: 16,
+        methods_per_class: 4,
+        members_per_class: 3,
+        rungs: 64,
+    };
+    let mut v = vec![("small", at(16)), ("medium", at(64))];
     if !smoke {
-        v.push((
-            "medium",
-            ScaleConfig {
-                chains: 8,
-                depth: 50,
-                methods_per_class: 4,
-                members_per_class: 3,
-                rungs: 500,
-            },
-        ));
-        v.push((
-            "large",
-            ScaleConfig {
-                chains: 16,
-                depth: 100,
-                methods_per_class: 4,
-                members_per_class: 3,
-                rungs: 1000,
-            },
-        ));
+        v.push(("large", at(256)));
+        v.push(("huge", at(1024)));
     }
     v
 }
@@ -87,33 +92,58 @@ fn measure(name: &'static str, config: ScaleConfig, samples: usize) -> SizeResul
         algorithm: Algorithm::Rta,
         ..Default::default()
     };
+    let jobs8 = effective_jobs(8);
+    let options_j8 = CallGraphOptions {
+        algorithm: Algorithm::Rta,
+        jobs: jobs8,
+        ..Default::default()
+    };
 
     let (walk_cg, _) = timing::time(samples, || {
         let lookup = MemberLookup::new(&program);
         CallGraph::build(&program, &lookup, &options).unwrap()
     });
+    let (walk_cg_j8, _) = timing::time(samples, || {
+        let lookup = MemberLookup::new(&program);
+        CallGraph::build(&program, &lookup, &options_j8).unwrap()
+    });
     let (summary_cg, _) = timing::time(samples, || {
         let summary = ProgramSummary::build(&program, false, 1);
         CallGraph::build_from_summary(&program, &summary, &options).unwrap()
     });
+    let (summary_cg_j8, _) = timing::time(samples, || {
+        let summary = ProgramSummary::build(&program, false, jobs8);
+        CallGraph::build_from_summary(&program, &summary, &options_j8).unwrap()
+    });
 
     // Deterministic worklist telemetry: capture once per engine and
     // insist the two engines agree — the delta schedule is shared, so
-    // pops, drains, and per-round delta sizes must be identical.
+    // pops, drains, and per-round delta sizes must be identical. The
+    // eight-worker walk must also produce the identical graph and
+    // counters: parallel rounds only pre-extract, never reschedule.
     let walk_tel = Telemetry::enabled();
     let lookup = MemberLookup::new(&program);
     let walked = CallGraph::build_with(&program, &lookup, &options, &walk_tel).unwrap();
+    let walk8_tel = Telemetry::enabled();
+    let walked8 = CallGraph::build_with(&program, &lookup, &options_j8, &walk8_tel).unwrap();
+    assert_eq!(walked, walked8, "{name}: jobs=8 walk diverged from jobs=1");
     let summary_tel = Telemetry::enabled();
     let summary = ProgramSummary::build(&program, false, 1);
     let replayed =
         CallGraph::build_from_summary_with(&program, &summary, &options, &summary_tel).unwrap();
     assert_eq!(walked, replayed, "{name}: engines disagree on the graph");
     let wc = walk_tel.counters();
+    let w8c = walk8_tel.counters();
     let sc = summary_tel.counters();
     assert_eq!(
         (wc.cg_worklist_pops, wc.cg_ready_drains),
         (sc.cg_worklist_pops, sc.cg_ready_drains),
         "{name}: worklist counters differ across engines"
+    );
+    assert_eq!(
+        (wc.cg_worklist_pops, wc.cg_ready_drains),
+        (w8c.cg_worklist_pops, w8c.cg_ready_drains),
+        "{name}: worklist counters differ across worker counts"
     );
     let ws = walk_tel.stats();
     let ss = summary_tel.stats();
@@ -127,7 +157,9 @@ fn measure(name: &'static str, config: ScaleConfig, samples: usize) -> SizeResul
         config,
         functions: program.function_count(),
         walk_cg,
+        walk_cg_j8,
         summary_cg,
+        summary_cg_j8,
         rounds: ss.callgraph_rounds,
         worklist_pops: sc.cg_worklist_pops,
         ready_drains: sc.cg_ready_drains,
@@ -149,6 +181,7 @@ fn render_json(results: &[SizeResult], samples: usize) -> String {
     out.push_str("  \"suite\": \"ddm-benchmarks scale generator\",\n");
     out.push_str("  \"algorithm\": \"rta\",\n");
     out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str(&format!("  \"jobs8_effective\": {},\n", effective_jobs(8)));
     out.push_str("  \"sizes\": [\n");
     for (i, r) in results.iter().enumerate() {
         let c = &r.config;
@@ -157,9 +190,11 @@ fn render_json(results: &[SizeResult], samples: usize) -> String {
             r.name, r.functions, c.chains, c.depth, c.methods_per_class, c.members_per_class, c.rungs
         ));
         out.push_str(&format!(
-            "     \"walk_callgraph_ns\": {}, \"summary_callgraph_ns\": {},\n",
+            "     \"walk_callgraph_ns\": {}, \"walk_callgraph_jobs8_ns\": {}, \"summary_callgraph_ns\": {}, \"summary_callgraph_jobs8_ns\": {},\n",
             r.walk_cg.as_nanos(),
-            r.summary_cg.as_nanos()
+            r.walk_cg_j8.as_nanos(),
+            r.summary_cg.as_nanos(),
+            r.summary_cg_j8.as_nanos()
         ));
         let max_delta = r.deltas.iter().copied().max().unwrap_or(0);
         let sum_delta: u64 = r.deltas.iter().sum();
@@ -181,8 +216,12 @@ fn render_json(results: &[SizeResult], samples: usize) -> String {
                 (w[0].functions, w[0].summary_cg),
                 (w[1].functions, w[1].summary_cg),
             );
+            let summary_j8 = exponent(
+                (w[0].functions, w[0].summary_cg_j8),
+                (w[1].functions, w[1].summary_cg_j8),
+            );
             out.push_str(&format!(
-                "    {{\"from\": \"{}\", \"to\": \"{}\", \"walk\": {walk:.3}, \"summary\": {summary:.3}}}{}",
+                "    {{\"from\": \"{}\", \"to\": \"{}\", \"walk\": {walk:.3}, \"summary\": {summary:.3}, \"summary_jobs8\": {summary_j8:.3}}}{}",
                 w[0].name,
                 w[1].name,
                 if w[1].name == results.last().unwrap().name { "\n" } else { ",\n" }
@@ -200,6 +239,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let emit = args
+        .iter()
+        .position(|a| a == "--emit")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --emit needs a path");
+            std::process::exit(2);
+        }));
     let samples = args
         .iter()
         .position(|a| a == "--samples")
@@ -208,6 +254,18 @@ fn main() {
         .filter(|&n| n >= 1)
         .unwrap_or(if smoke { 1 } else { 3 });
 
+    if let Some(path) = &emit {
+        let (_, config) = sizes(true).remove(0);
+        std::fs::write(path, generate_scale(&config, 42)).expect("write emitted source");
+        println!(
+            "emitted {path} ({} functions)",
+            scale_function_count(&config)
+        );
+        if !json && !smoke {
+            return; // emit-only invocation: no measurement requested
+        }
+    }
+
     let started = Instant::now();
     let results: Vec<SizeResult> = sizes(smoke)
         .into_iter()
@@ -215,34 +273,43 @@ fn main() {
         .collect();
 
     println!(
-        "{:<8} {:>8} {:>8} {:>14} {:>16} {:>10} {:>10}",
-        "size", "funcs", "rounds", "walk cg", "summary cg", "pops", "drains"
+        "{:<8} {:>8} {:>8} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "size", "funcs", "rounds", "walk", "walk j8", "summary", "summary j8", "pops", "drains"
     );
     for r in &results {
         println!(
-            "{:<8} {:>8} {:>8} {:>14.1?} {:>16.1?} {:>10} {:>10}",
-            r.name, r.functions, r.rounds, r.walk_cg, r.summary_cg, r.worklist_pops, r.ready_drains
+            "{:<8} {:>8} {:>8} {:>12.1?} {:>12.1?} {:>12.1?} {:>12.1?} {:>9} {:>9}",
+            r.name,
+            r.functions,
+            r.rounds,
+            r.walk_cg,
+            r.walk_cg_j8,
+            r.summary_cg,
+            r.summary_cg_j8,
+            r.worklist_pops,
+            r.ready_drains
         );
     }
+    let mut worst_exponent: f64 = 0.0;
     for w in results.windows(2) {
+        let walk = exponent(
+            (w[0].functions, w[0].walk_cg),
+            (w[1].functions, w[1].walk_cg),
+        );
+        let summary = exponent(
+            (w[0].functions, w[0].summary_cg),
+            (w[1].functions, w[1].summary_cg),
+        );
+        worst_exponent = worst_exponent.max(walk).max(summary);
         println!(
-            "exponent {} -> {}: walk {:.3}, summary {:.3}  (full-sweep baseline ~2)",
-            w[0].name,
-            w[1].name,
-            exponent(
-                (w[0].functions, w[0].walk_cg),
-                (w[1].functions, w[1].walk_cg)
-            ),
-            exponent(
-                (w[0].functions, w[0].summary_cg),
-                (w[1].functions, w[1].summary_cg)
-            ),
+            "exponent {} -> {}: walk {walk:.3}, summary {summary:.3}  (full-sweep baseline ~2)",
+            w[0].name, w[1].name,
         );
     }
 
     if json {
-        // The smoke run measures one size only — keep it away from the
-        // committed full-sweep BENCH_scale.json.
+        // The smoke run measures the two smallest sizes only — keep it
+        // away from the committed full-sweep BENCH_scale.json.
         let path = if smoke {
             "BENCH_scale_smoke.json"
         } else {
@@ -258,6 +325,24 @@ fn main() {
             elapsed < SMOKE_CEILING,
             "scale smoke exceeded its wall-clock ceiling: {elapsed:.1?} >= {SMOKE_CEILING:?}"
         );
-        println!("smoke OK in {elapsed:.1?} (ceiling {SMOKE_CEILING:?})");
+        assert!(
+            worst_exponent <= SMOKE_EXPONENT_CEILING,
+            "scaling exponent regressed: {worst_exponent:.3} > {SMOKE_EXPONENT_CEILING}"
+        );
+        for r in &results {
+            for (label, j1, j8) in [
+                ("walk", r.walk_cg, r.walk_cg_j8),
+                ("summary", r.summary_cg, r.summary_cg_j8),
+            ] {
+                assert!(
+                    j8 <= j1.mul_f64(SMOKE_JOBS_TOLERANCE),
+                    "{} {label}: jobs=8 ({j8:.1?}) slower than jobs=1 ({j1:.1?}) beyond {SMOKE_JOBS_TOLERANCE}x",
+                    r.name
+                );
+            }
+        }
+        println!(
+            "smoke OK in {elapsed:.1?} (ceiling {SMOKE_CEILING:?}, worst exponent {worst_exponent:.3})"
+        );
     }
 }

@@ -143,6 +143,21 @@ pub fn measure_suite_jobs(jobs: usize) -> Result<Vec<Measured>, MeasureError> {
         .collect()
 }
 
+/// Clamps a requested worker count to the machine's available
+/// parallelism. Timing `--jobs 8` on one hardware thread measures
+/// oversubscription overhead, not the sharded schedule, so the bench
+/// binaries run `min(requested, available)` workers and report both
+/// numbers. Analysis artifacts are jobs-invariant, so the clamp never
+/// changes *what* is measured — only how it is scheduled. The `ddm`
+/// CLI deliberately does not clamp: its trace output must show every
+/// requested worker lane.
+pub fn effective_jobs(requested: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    requested.min(available).max(1)
+}
+
 /// Parses a `--jobs N` pair out of the process arguments (shared by the
 /// driver binaries); defaults to 1.
 pub fn jobs_from_args() -> usize {

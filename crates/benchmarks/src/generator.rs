@@ -348,6 +348,12 @@ pub enum FuzzShape {
     /// be byte-identical across engines, worker counts, and cache
     /// states.
     OdrConflict,
+    /// Deep linear inheritance ladders (chains × depth) with an
+    /// override on every rung and dispatch sites that run before the
+    /// deeper rungs are instantiated — a miniature of the scale
+    /// generator's park/release schedule, with the deepest class never
+    /// instantiated so RTA must prune its overrides.
+    DeepLadder,
 }
 
 impl FuzzShape {
@@ -361,12 +367,13 @@ impl FuzzShape {
             FuzzShape::DeadCodeHeavy => "deadcode",
             FuzzShape::OdrBenignDrift => "odr",
             FuzzShape::OdrConflict => "odr-conflict",
+            FuzzShape::DeepLadder => "ladder",
         }
     }
 }
 
 /// Every shape, in a fixed order (sweeps cycle through this).
-pub const FUZZ_SHAPES: [FuzzShape; 7] = [
+pub const FUZZ_SHAPES: [FuzzShape; 8] = [
     FuzzShape::Benign,
     FuzzShape::DeepUnions,
     FuzzShape::CastStorm,
@@ -374,6 +381,7 @@ pub const FUZZ_SHAPES: [FuzzShape; 7] = [
     FuzzShape::DeadCodeHeavy,
     FuzzShape::OdrBenignDrift,
     FuzzShape::OdrConflict,
+    FuzzShape::DeepLadder,
 ];
 
 /// Shape parameters for one adversarial fuzz case.
@@ -605,6 +613,13 @@ pub fn generate_fuzz(config: &FuzzConfig, seed: u64) -> Vec<(String, String)> {
     files
 }
 
+/// Ladder dimensions for [`FuzzShape::DeepLadder`], shared by
+/// [`shape_types`] (class emission) and [`shape_functions`] (dispatch
+/// helpers), which draw from the RNG at different points and so cannot
+/// re-derive matching values from it.
+const LADDER_CHAINS: usize = 3;
+const LADDER_DEPTH: usize = 7;
+
 /// Shape-specific type declarations appended to the shared header.
 fn shape_types(shape: FuzzShape, members: usize, rng: &mut Rng) -> String {
     let mut out = String::new();
@@ -666,6 +681,31 @@ fn shape_types(shape: FuzzShape, members: usize, rng: &mut Rng) -> String {
                 vm,
                 "nj_m0 + nl_m0 + nr_m0",
             );
+            out.push('\n');
+        }
+        FuzzShape::DeepLadder => {
+            // Deep linear hierarchies with an override on every rung;
+            // sized past the benign substrate so park/release schedules
+            // stretch over many fixpoint rounds. The dimensions are
+            // fixed (not seed-drawn) because `shape_functions` must
+            // name the same classes after unrelated RNG draws.
+            for c in 0..LADDER_CHAINS {
+                for d in 0..LADDER_DEPTH {
+                    if d == 0 {
+                        let _ = writeln!(out, "class L{c}_0 {{\npublic:");
+                    } else {
+                        let _ = writeln!(out, "class L{c}_{d} : public L{c}_{} {{\npublic:", d - 1);
+                    }
+                    for m in 0..members {
+                        let _ = writeln!(out, "    int l{c}_{d}_{m};");
+                    }
+                    let _ = writeln!(
+                        out,
+                        "    virtual int rung() {{ return l{c}_{d}_0 + {d}; }}"
+                    );
+                    let _ = writeln!(out, "}};");
+                }
+            }
             out.push('\n');
         }
         _ => {}
@@ -828,6 +868,42 @@ fn shape_functions(
             let _ = writeln!(defs, "    }}");
             let _ = writeln!(defs, "    return acc;\n}}");
             calls.push("deadcode_entry()".to_string());
+        }
+        FuzzShape::DeepLadder => {
+            // One dispatch helper per chain, called with progressively
+            // deeper receivers: the helper's candidate set is parked at
+            // every depth the entry has not reached yet, and the
+            // deepest rung is never instantiated at all.
+            for c in 0..LADDER_CHAINS {
+                let _ = writeln!(protos, "int ladder_disp{c}(L{c}_0* p);");
+                let _ = writeln!(
+                    defs,
+                    "int ladder_disp{c}(L{c}_0* p) {{ return p->rung(); }}"
+                );
+            }
+            let _ = writeln!(protos, "int ladder_entry();");
+            let _ = writeln!(defs, "int ladder_entry() {{\n    int acc = 0;");
+            for c in 0..LADDER_CHAINS {
+                // Stop one rung short of the deepest class so its
+                // override stays unreachable under RTA.
+                let stop = LADDER_DEPTH - 1 - rng.gen_range(0..2).min(LADDER_DEPTH - 2);
+                let mut d = 0;
+                while d < stop {
+                    let _ = writeln!(defs, "    L{c}_{d} x{c}_{d};");
+                    let _ = writeln!(
+                        defs,
+                        "    acc = acc + ladder_disp{c}(&x{c}_{d});"
+                    );
+                    let _ = writeln!(
+                        defs,
+                        "    acc = acc + x{c}_{d}.l{c}_{d}_{};",
+                        rng.gen_range(0..members)
+                    );
+                    d += 1 + rng.gen_range(0..2);
+                }
+            }
+            let _ = writeln!(defs, "    return acc;\n}}");
+            calls.push("ladder_entry()".to_string());
         }
         FuzzShape::Benign | FuzzShape::OdrBenignDrift | FuzzShape::OdrConflict => {}
     }
@@ -1006,6 +1082,17 @@ mod tests {
         assert!(diamonds.contains("class NJ : public NL, public NR"));
         let dead = text(FuzzShape::DeadCodeHeavy);
         assert!(dead.contains("if (0) {"));
+        let ladder = text(FuzzShape::DeepLadder);
+        assert!(ladder.contains(&format!(
+            "class L0_{} : public L0_{}",
+            LADDER_DEPTH - 1,
+            LADDER_DEPTH - 2
+        )));
+        assert!(ladder.contains("ladder_disp0(&x0_0)"));
+        assert!(
+            !ladder.contains(&format!("L0_{} x", LADDER_DEPTH - 1)),
+            "the deepest rung must never be instantiated"
+        );
     }
 
     #[test]

@@ -36,13 +36,25 @@
 pub use ddm_hierarchy::pta;
 
 use ddm_hierarchy::{
-    resolve_ctor, walk_function, walk_globals, CallEvent, CallTarget, CgStep, ClassBitSet, ClassId,
-    DeleteEvent, EventVisitor, FnSummary, FuncBitSet, FuncId, InstantiationEvent, MemberLookup,
-    Program, ProgramSummary, TypeError,
+    extract_function, resolve_ctor, walk_function, walk_globals, CallEvent, CallTarget, CgStep,
+    ClassBitSet, ClassId, DeleteEvent, EventVisitor, FnSummary, FuncBitSet, FuncId,
+    InstantiationEvent, MemberLookup, Program, ProgramSummary, TypeError,
 };
 use ddm_telemetry::{Counters, Telemetry, LANE_MAIN};
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
+
+/// Minimum number of *unprocessed* functions in one delta batch before
+/// the walking builder pre-extracts their bodies on worker threads. A
+/// round below the cut is processed inline: forking the pool for a
+/// handful of bodies costs more than walking them, which is exactly the
+/// small-input regression the extraction threshold
+/// ([`ddm_hierarchy::EXTRACTION_SHARD_THRESHOLD`]) fixed for summaries.
+/// Like that threshold, this is a fixed cut — not CPU-count derived — so
+/// the execution shape is reproducible across machines, and the merged
+/// result is bit-identical either way (see DESIGN.md §5g).
+pub const PARALLEL_ROUND_THRESHOLD: usize = 256;
 
 /// Which call-graph construction algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -80,6 +92,11 @@ pub struct CallGraphOptions {
     /// their virtual methods become call-graph roots, because library code
     /// may call back into them.
     pub library_classes: HashSet<ClassId>,
+    /// Worker threads for the walking builder's per-round body
+    /// pre-extraction. `0` and `1` both mean fully sequential; any value
+    /// produces the same graph (rounds below
+    /// [`PARALLEL_ROUND_THRESHOLD`] stay inline regardless).
+    pub jobs: usize,
 }
 
 /// The computed call graph, frozen into dense index-keyed storage:
@@ -205,17 +222,81 @@ impl CallGraph {
             walk_globals(program, lookup, &mut visitor)?;
         }
 
-        let rounds = run_fixpoint(&mut state, telemetry, "callgraph", |st, fid| {
-            let mut visitor = EventSink {
-                caller: Some(fid),
-                register: true,
-                lookup,
-                pta,
-                pointee_cache: &mut pointee_cache,
-                state: st,
-            };
-            walk_function(program, lookup, fid, &mut visitor)
-        })?;
+        // Parallel rounds: when a delta batch is wide enough, the batch's
+        // unprocessed bodies are extracted into summaries on worker
+        // threads (shard-ordered, one walk per body — the same walk this
+        // loop would do inline) and replayed sequentially in slot order.
+        // Replaying an extracted summary makes propagation calls
+        // identical to walking the body (the PR-2 walk-once property),
+        // so the schedule, the graph, and every counter are bit-for-bit
+        // the same at any job count.
+        let jobs = options.jobs;
+        let prefetched: RefCell<HashMap<FuncId, Result<FnSummary, TypeError>>> =
+            RefCell::new(HashMap::new());
+        let rounds = run_fixpoint(
+            &mut state,
+            telemetry,
+            "callgraph",
+            |st, batch| {
+                if jobs <= 1 {
+                    return;
+                }
+                let todo: Vec<FuncId> = batch
+                    .iter()
+                    .copied()
+                    .filter(|&f| !st.processed.contains(f))
+                    .collect();
+                if todo.len() < PARALLEL_ROUND_THRESHOLD {
+                    return;
+                }
+                let per_shard = todo.len().div_ceil(jobs);
+                let extracted: Vec<(FuncId, Result<FnSummary, TypeError>)> =
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = todo
+                            .chunks(per_shard)
+                            .enumerate()
+                            .map(|(shard_ix, chunk)| {
+                                scope.spawn(move || {
+                                    let lane = u32::try_from(shard_ix + 1).unwrap_or(u32::MAX);
+                                    let _span = telemetry.span(lane, || {
+                                        format!(
+                                            "callgraph round shard {shard_ix} ({} fns)",
+                                            chunk.len()
+                                        )
+                                    });
+                                    let lookup = MemberLookup::new(program);
+                                    chunk
+                                        .iter()
+                                        .map(|&f| (f, extract_function(program, &lookup, f, pta)))
+                                        .collect::<Vec<_>>()
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .flat_map(|h| h.join().expect("callgraph round worker panicked"))
+                            .collect()
+                    });
+                prefetched.borrow_mut().extend(extracted);
+            },
+            |st, fid| {
+                if let Some(summary) = prefetched.borrow_mut().remove(&fid) {
+                    // A stored walk error surfaces at this pop — the same
+                    // slot the inline walk would have failed at.
+                    replay_summary(st, Some(fid), &summary?, true);
+                    return Ok(());
+                }
+                let mut visitor = EventSink {
+                    caller: Some(fid),
+                    register: true,
+                    lookup,
+                    pta,
+                    pointee_cache: &mut pointee_cache,
+                    state: st,
+                };
+                walk_function(program, lookup, fid, &mut visitor)
+            },
+        )?;
 
         #[cfg(debug_assertions)]
         verify_full_sweep(&mut state, |st, fid| {
@@ -284,11 +365,20 @@ impl CallGraph {
         let mut replays: u64 = 1;
         replay_summary(&mut state, None, summary.globals()?, false);
 
-        let rounds = run_fixpoint(&mut state, telemetry, "callgraph replay", |st, fid| {
-            replays += 1;
-            replay_summary(st, Some(fid), summary.function(fid)?, true);
-            Ok(())
-        })?;
+        // Replay pops are a few index operations each — there is no body
+        // walk left to farm out (extraction already ran sharded inside
+        // `ProgramSummary::build`), so rounds need no prepare step.
+        let rounds = run_fixpoint(
+            &mut state,
+            telemetry,
+            "callgraph replay",
+            |_, _| {},
+            |st, fid| {
+                replays += 1;
+                replay_summary(st, Some(fid), summary.function(fid)?, true);
+                Ok(())
+            },
+        )?;
 
         #[cfg(debug_assertions)]
         verify_full_sweep(&mut state, |st, fid| {
@@ -420,6 +510,13 @@ struct PropState<'p> {
     /// the owner's slot is still ahead of the cursor — the same moment a
     /// full-sweep re-walk of the owner would have seen the instantiation.
     cursor: FuncId,
+    /// Recycled buffers for [`PropState::drain_ready`] and
+    /// [`PropState::release_pending`]: a `mem::take` of a row would
+    /// discard its capacity every drain, so hot owners (re-drained once
+    /// per widening round) would reallocate per pop. Swapping through a
+    /// scratch keeps one warm allocation circulating instead.
+    drain_scratch: Vec<FuncId>,
+    release_scratch: Vec<(FuncId, FuncId)>,
     pops: u64,
     drains: u64,
     parked: u64,
@@ -450,6 +547,8 @@ impl<'p> PropState<'p> {
             in_next: FuncBitSet::with_capacity(n),
             processed: FuncBitSet::with_capacity(n),
             cursor: FuncId::from_index(0),
+            drain_scratch: Vec::new(),
+            release_scratch: Vec::new(),
             pops: 0,
             drains: 0,
             parked: 0,
@@ -632,8 +731,12 @@ impl<'p> PropState<'p> {
     /// instantiation); an owner at or behind the cursor drains next round
     /// (its re-walk this round had already passed).
     fn release_pending(&mut self, class: ClassId) {
-        let waiters = std::mem::take(&mut self.pending_dispatch[class.index()]);
-        for (owner, target) in waiters {
+        // Swap the parked row out through the scratch buffer (and the
+        // empty scratch in), so the row keeps a warm allocation for any
+        // later parks on the same class.
+        let mut waiters = std::mem::take(&mut self.release_scratch);
+        std::mem::swap(&mut waiters, &mut self.pending_dispatch[class.index()]);
+        for &(owner, target) in &waiters {
             self.ready[owner.index()].push(target);
             if owner > self.cursor {
                 self.schedule_current(owner);
@@ -641,6 +744,8 @@ impl<'p> PropState<'p> {
                 self.schedule_next(owner);
             }
         }
+        waiters.clear();
+        self.release_scratch = waiters;
     }
 
     /// Adds this round's new function-pointer edges: the conservative
@@ -675,17 +780,22 @@ impl<'p> PropState<'p> {
 
     /// Drains the widened edges readied for `owner` since its last slot.
     fn drain_ready(&mut self, owner: FuncId) {
-        let widened = std::mem::take(&mut self.ready[owner.index()]);
+        let mut widened = std::mem::take(&mut self.drain_scratch);
+        std::mem::swap(&mut widened, &mut self.ready[owner.index()]);
         self.drains += widened.len() as u64;
-        for t in widened {
+        for &t in &widened {
             self.add_edge(Some(owner), t);
         }
+        widened.clear();
+        self.drain_scratch = widened;
     }
 
     fn flush_telemetry(&self, telemetry: &Telemetry, rounds: u64, replays: Option<u64>) {
         telemetry.update_stats(|s| {
             s.callgraph_rounds = rounds;
             s.worklist_pushes += self.parked;
+            s.cg_interned_symbols = self.program.interner().len() as u64;
+            s.cg_arena_bytes = self.program.interner().arena_bytes() as u64;
             if let Some(r) = replays {
                 s.summary_replays += r;
             }
@@ -733,10 +843,18 @@ impl<'p> PropState<'p> {
 /// function processed, every readied site drained) replaces the old
 /// recount-everything convergence triple, which `verify_full_sweep`
 /// re-checks under `cfg(debug_assertions)`.
+///
+/// `prepare` sees each round's batch before any slot runs. A round-start
+/// batch fully determines which functions get their first processing
+/// this round (parking happens only inside `process`, so every mid-round
+/// heap push is a drain slot for an already-processed owner) — that is
+/// what lets the walking builder pre-extract batch bodies in parallel
+/// without changing the schedule.
 fn run_fixpoint<'p, E>(
     state: &mut PropState<'p>,
     telemetry: &Telemetry,
     label: &str,
+    mut prepare: impl FnMut(&PropState<'p>, &[FuncId]),
     mut process: impl FnMut(&mut PropState<'p>, FuncId) -> Result<(), E>,
 ) -> Result<u64, E> {
     let mut rounds: u64 = 0;
@@ -746,6 +864,7 @@ fn run_fixpoint<'p, E>(
             format!("{label} delta {rounds} ({} fns)", batch.len())
         });
         telemetry.update_stats(|s| s.cg_round_deltas.push(batch.len() as u64));
+        prepare(state, &batch);
         for f in batch {
             state.in_next.remove(f);
             state.schedule_current(f);
@@ -880,7 +999,6 @@ impl EventVisitor for EventSink<'_, '_> {
                 receiver_var,
             } => {
                 if *is_virtual_dispatch {
-                    let name = self.state.program.function(*func).name.clone();
                     // §3.1 refinement: a points-to set for the receiver
                     // variable narrows dispatch to the classes it can
                     // actually reference.
@@ -890,9 +1008,11 @@ impl EventVisitor for EventSink<'_, '_> {
                     };
                     match refined {
                         Some(classes) => {
+                            let program = self.state.program;
+                            let name: &str = &program.function(*func).name;
                             let mut out = BTreeSet::new();
                             for c in classes {
-                                if let Some(f) = self.lookup.resolve_virtual(c, &name) {
+                                if let Some(f) = self.lookup.resolve_virtual(c, name) {
                                     out.insert(f);
                                 }
                             }
@@ -901,7 +1021,7 @@ impl EventVisitor for EventSink<'_, '_> {
                         }
                         None => {
                             let candidates =
-                                self.lookup.dispatch_candidates(*receiver_class, &name);
+                                self.lookup.dispatch_candidates_for(*receiver_class, *func);
                             self.state
                                 .op_virtual_site(self.caller, *func, &candidates, self.register);
                         }
@@ -1140,6 +1260,7 @@ mod tests {
             &CallGraphOptions {
                 algorithm: Algorithm::Rta,
                 library_classes: [widget].into_iter().collect(),
+                ..Default::default()
             },
         )
         .unwrap();
@@ -1265,6 +1386,7 @@ mod tests {
         let options = CallGraphOptions {
             algorithm: Algorithm::Rta,
             library_classes: [p.class_by_name("Widget").unwrap()].into_iter().collect(),
+            ..Default::default()
         };
         let walked = CallGraph::build(&p, &lk, &options).unwrap();
         let summary = ProgramSummary::build(&p, false, 1);
@@ -1303,6 +1425,69 @@ mod tests {
             Algorithm::Rta,
         );
         assert_eq!(g2.callees(p2.free_function("lonely").unwrap()).count(), 0);
+    }
+
+    #[test]
+    fn parallel_rounds_are_bit_identical_to_sequential() {
+        // One wide delta round: main's batch fans out to well over
+        // PARALLEL_ROUND_THRESHOLD unprocessed functions, so jobs > 1
+        // takes the pre-extraction path. No class is instantiated until
+        // a leaf in the middle of the round runs, so the early leaves'
+        // dispatch sites park (and take the schedule-sensitive
+        // static-decl fallback) and are released mid-round — the
+        // hardest case for schedule equivalence.
+        let n = PARALLEL_ROUND_THRESHOLD + 44;
+        let mut src = String::from(
+            "class A { public: virtual int f() { return 0; } virtual ~A() { } };\n\
+             class B : public A { public: virtual int f() { return 1; } ~B() { } };\n\
+             class C : public A { public: virtual int f() { return 2; } };\n",
+        );
+        for i in 0..n {
+            if i == n / 2 {
+                src.push_str(&format!(
+                    "int leaf{i}(A* a) {{ B b; return a->f() + b.f() + {i}; }}\n"
+                ));
+            } else {
+                src.push_str(&format!("int leaf{i}(A* a) {{ return a->f() + {i}; }}\n"));
+            }
+        }
+        src.push_str("int main() { A* p = 0; int acc = 0;\n");
+        for i in 0..n {
+            src.push_str(&format!("    acc = acc + leaf{i}(p);\n"));
+        }
+        src.push_str("    return acc; }\n");
+
+        let tu = parse(&src).expect("parse");
+        let p = Program::build(&tu).expect("sema");
+        let lk = MemberLookup::new(&p);
+        let mut baseline = None;
+        for jobs in [1usize, 2, 8] {
+            let options = CallGraphOptions {
+                algorithm: Algorithm::Rta,
+                jobs,
+                ..Default::default()
+            };
+            let tel = Telemetry::enabled();
+            let g = CallGraph::build_with(&p, &lk, &options, &tel).expect("build");
+            let counters = tel.counters();
+            let fingerprint = (
+                g,
+                counters.cg_worklist_pops,
+                counters.cg_ready_drains,
+                tel.stats().cg_round_deltas.clone(),
+            );
+            match &baseline {
+                None => baseline = Some(fingerprint),
+                Some(b) => {
+                    assert_eq!(b.0, fingerprint.0, "graph diverged at jobs={jobs}");
+                    assert_eq!(
+                        (b.1, b.2, &b.3),
+                        (fingerprint.1, fingerprint.2, &fingerprint.3),
+                        "schedule diverged at jobs={jobs}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -849,6 +849,7 @@ mod tests {
                     .iter()
                     .filter_map(|n| program.class_by_name(n))
                     .collect(),
+                ..Default::default()
             };
             let graph = CallGraph::build(&program, &lookup, &cg_options).expect("callgraph");
             DeadMemberAnalysis::new(&program, config)

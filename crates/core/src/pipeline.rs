@@ -212,6 +212,7 @@ impl AnalysisPipeline {
                 .iter()
                 .filter_map(|n| program.class_by_name(n))
                 .collect(),
+            jobs,
         };
         let (callgraph, liveness, used) = match engine {
             Engine::Walk => {

@@ -374,6 +374,7 @@ impl ProjectPipeline {
                 .iter()
                 .filter_map(|n| program.class_by_name(n))
                 .collect(),
+            jobs,
         };
         let attribute = |e: TypeError| -> ProjectError {
             let file = linked

@@ -226,6 +226,57 @@ mod tests {
     }
 
     #[test]
+    fn word_boundary_bits_land_in_the_right_words() {
+        // Bits 63/64 and 127/128 straddle word boundaries; get them
+        // wrong and membership silently aliases a neighbour.
+        let mut s = DenseBitSet::with_capacity(256);
+        for id in [0, 63, 64, 127, 128, 255] {
+            assert!(s.insert(id), "{id} fresh");
+        }
+        for id in [0, 63, 64, 127, 128, 255] {
+            assert!(s.contains(id), "{id} present");
+        }
+        for id in [1, 62, 65, 126, 129, 254] {
+            assert!(!s.contains(id), "{id} absent");
+        }
+        assert_eq!(s.count(), 6);
+        assert!(s.remove(64));
+        assert!(s.contains(63), "removing 64 leaves word 0 alone");
+        assert!(s.contains(128), "removing 64 leaves word 2 alone");
+    }
+
+    #[test]
+    fn union_grows_the_shorter_side_and_is_word_parallel() {
+        // Shorter-into-longer and longer-into-shorter both work; the
+        // change flag reflects bits, not lengths.
+        let mut short = DenseBitSet::with_capacity(64);
+        short.insert(5);
+        let mut long = DenseBitSet::with_capacity(640);
+        long.insert(5);
+        long.insert(639);
+        assert!(short.union_with(&long), "bit 639 forces growth");
+        assert_eq!(short.iter().collect::<Vec<_>>(), vec![5, 639]);
+        // The reverse direction: nothing new flows from short to long.
+        assert!(!long.union_with(&short));
+        // A longer but all-zero operand must not report change.
+        let hollow = DenseBitSet::with_capacity(10_000);
+        assert!(!long.union_with(&hollow));
+        assert_eq!(long.count(), 2);
+    }
+
+    #[test]
+    fn dense_full_words_iterate_completely() {
+        let mut s = DenseBitSet::with_capacity(128);
+        for id in 0..128 {
+            s.insert(id);
+        }
+        assert_eq!(s.count(), 128);
+        let all: Vec<u32> = s.iter().collect();
+        assert_eq!(all, (0..128).collect::<Vec<u32>>());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
     fn typed_wrappers_round_trip_ids() {
         let mut funcs = FuncBitSet::with_capacity(8);
         let f0 = FuncId::from_index(0);

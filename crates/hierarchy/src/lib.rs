@@ -26,6 +26,7 @@
 
 pub mod bitset;
 pub mod ids;
+pub mod intern;
 pub mod layout;
 pub mod link;
 pub mod lookup;
@@ -39,6 +40,7 @@ pub mod used;
 
 pub use bitset::{ClassBitSet, DenseBitSet, FuncBitSet};
 pub use ids::{ClassId, FuncId, MemberRef};
+pub use intern::{Interner, Symbol};
 pub use layout::{ClassLayout, FieldSlot, LayoutEngine};
 pub use link::{link, LinkError, LinkedProgram};
 pub use lookup::{Found, LookupError, MemberLookup};
@@ -53,9 +55,9 @@ pub use module::{
 };
 pub use subobject::{Subobject, SubobjectId, SubobjectTree};
 pub use summary::{
-    classify_cast, strip_indirections, CastSafety, CgStep, DeleteSite, FnSummary, LiveStep,
-    MarkAllCause, MemberAccessKind, MemberBitSet, MemberIndex, ProgramSummary, VirtualSite,
-    EXTRACTION_SHARD_THRESHOLD,
+    classify_cast, extract_function, strip_indirections, CastSafety, CgStep, DeleteSite, FnSummary,
+    LiveStep, MarkAllCause, MemberAccessKind, MemberBitSet, MemberIndex, ProgramSummary,
+    VirtualSite, EXTRACTION_SHARD_THRESHOLD,
 };
 pub use typewalk::{
     body_walk_count, resolve_ctor, walk_function, walk_globals, Builtin, CallEvent, CallTarget,

@@ -10,6 +10,7 @@
 //! with ambiguity detection — is identical).
 
 use crate::ids::{ClassId, FuncId, MemberRef};
+use crate::intern::Symbol;
 use crate::model::Program;
 use crate::subobject::SubobjectTree;
 use ddm_cppfront::ast::FunctionKind;
@@ -87,7 +88,7 @@ impl Error for LookupError {}
 pub struct MemberLookup<'p> {
     program: &'p Program,
     trees: RefCell<HashMap<ClassId, std::rc::Rc<SubobjectTree>>>,
-    dispatch: RefCell<HashMap<(ClassId, String), std::rc::Rc<Vec<(ClassId, FuncId)>>>>,
+    dispatch: RefCell<HashMap<(ClassId, Symbol), std::rc::Rc<Vec<(ClassId, FuncId)>>>>,
     dtors: RefCell<HashMap<ClassId, std::rc::Rc<Vec<(ClassId, FuncId)>>>>,
 }
 
@@ -236,8 +237,35 @@ impl<'p> MemberLookup<'p> {
         receiver: ClassId,
         name: &str,
     ) -> std::rc::Rc<Vec<(ClassId, FuncId)>> {
-        let key = (receiver, name.to_string());
-        if let Some(c) = self.dispatch.borrow().get(&key) {
+        match self.program.interner().lookup(name) {
+            Some(sym) => self.dispatch_candidates_interned(receiver, sym, name),
+            // No function anywhere bears this name, so no subclass can
+            // resolve a dispatch target for it.
+            None => std::rc::Rc::new(Vec::new()),
+        }
+    }
+
+    /// [`MemberLookup::dispatch_candidates`] keyed by the statically
+    /// resolved declaration instead of its name: the hot callers (the
+    /// fixpoint replay and the summary extractor) already hold a
+    /// `FuncId`, and going through its interned name symbol makes a
+    /// cache hit two integer hashes with no allocation.
+    pub fn dispatch_candidates_for(
+        &self,
+        receiver: ClassId,
+        method: FuncId,
+    ) -> std::rc::Rc<Vec<(ClassId, FuncId)>> {
+        let sym = self.program.fn_name_symbol(method);
+        self.dispatch_candidates_interned(receiver, sym, &self.program.function(method).name)
+    }
+
+    fn dispatch_candidates_interned(
+        &self,
+        receiver: ClassId,
+        sym: Symbol,
+        name: &str,
+    ) -> std::rc::Rc<Vec<(ClassId, FuncId)>> {
+        if let Some(c) = self.dispatch.borrow().get(&(receiver, sym)) {
             return c.clone();
         }
         let computed = std::rc::Rc::new(
@@ -247,7 +275,9 @@ impl<'p> MemberLookup<'p> {
                 .filter_map(|c| self.resolve_virtual(c, name).map(|f| (c, f)))
                 .collect::<Vec<_>>(),
         );
-        self.dispatch.borrow_mut().insert(key, computed.clone());
+        self.dispatch
+            .borrow_mut()
+            .insert((receiver, sym), computed.clone());
         computed
     }
 
@@ -488,6 +518,31 @@ mod more_lookup_tests {
         let leaf = p.class_by_name("C11").unwrap();
         let root = p.class_by_name("C0").unwrap();
         assert_eq!(lk.data_member(leaf, "root").unwrap().class, root);
+    }
+
+    #[test]
+    fn dispatch_candidates_by_name_and_by_func_share_one_cache_entry() {
+        let p = program(
+            "class A { public: virtual int f() { return 0; } };\n\
+             class B : public A { public: virtual int f() { return 1; } };\n\
+             class C : public B { };\n\
+             int main() { return 0; }",
+        );
+        let lk = MemberLookup::new(&p);
+        let a = p.class_by_name("A").unwrap();
+        let fa = lk.method(a, "f").unwrap();
+        let by_name = lk.dispatch_candidates(a, "f");
+        let by_func = lk.dispatch_candidates_for(a, fa);
+        assert!(
+            std::rc::Rc::ptr_eq(&by_name, &by_func),
+            "both entry points hit the same cache slot"
+        );
+        let b = p.class_by_name("B").unwrap();
+        let c = p.class_by_name("C").unwrap();
+        let fb = lk.method(b, "f").unwrap();
+        assert_eq!(*by_name, vec![(a, fa), (b, fb), (c, fb)]);
+        // A name no function bears resolves to no candidates.
+        assert!(lk.dispatch_candidates(a, "no_such_method").is_empty());
     }
 
     #[test]

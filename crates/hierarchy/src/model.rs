@@ -7,6 +7,7 @@
 //! share.
 
 use crate::ids::{ClassId, FuncId};
+use crate::intern::{Interner, Symbol};
 use ddm_cppfront::ast::{
     Block, ClassKind, CtorInit, DataMemberDecl, FunctionKind, Param, TranslationUnit, Type,
     TypeKind,
@@ -186,6 +187,15 @@ pub struct Program {
     enum_names: HashSet<String>,
     class_by_name: HashMap<String, ClassId>,
     free_fn_by_name: HashMap<String, FuncId>,
+    /// Function names interned in `FuncId` order (so the numbering is
+    /// deterministic for a given program); backs the integer-keyed
+    /// dispatch cache in [`crate::MemberLookup`].
+    interner: Interner,
+    fn_name_syms: Vec<Symbol>,
+    /// Per class, its direct subclasses — the inverted base relation,
+    /// which makes [`Program::subclasses_of`] proportional to the
+    /// subtree instead of the whole class table.
+    children: Vec<Vec<ClassId>>,
 }
 
 impl Program {
@@ -218,6 +228,9 @@ impl Program {
             enum_names,
             class_by_name,
             free_fn_by_name: HashMap::new(),
+            interner: Interner::new(),
+            fn_name_syms: Vec::new(),
+            children: Vec::new(),
         };
 
         // Pass 1: classes with resolved bases and members.
@@ -327,6 +340,7 @@ impl Program {
         }
 
         prog.propagate_virtualness();
+        prog.build_derived_indexes();
         Ok(prog)
     }
 
@@ -355,7 +369,7 @@ impl Program {
             .filter(|(_, f)| f.class.is_none())
             .map(|(i, f)| (f.name.clone(), FuncId(i as u32)))
             .collect();
-        Program {
+        let mut prog = Program {
             classes,
             functions,
             globals,
@@ -363,7 +377,32 @@ impl Program {
             enum_names,
             class_by_name,
             free_fn_by_name,
+            interner: Interner::new(),
+            fn_name_syms: Vec::new(),
+            children: Vec::new(),
+        };
+        prog.build_derived_indexes();
+        prog
+    }
+
+    /// Builds the derived lookup structures both construction paths
+    /// ([`Program::build`] and [`Program::assemble`]) share: the
+    /// function-name interner and the direct-subclass adjacency.
+    fn build_derived_indexes(&mut self) {
+        let mut interner = Interner::new();
+        self.fn_name_syms = self
+            .functions
+            .iter()
+            .map(|f| interner.intern(&f.name))
+            .collect();
+        self.interner = interner;
+        let mut children = vec![Vec::new(); self.classes.len()];
+        for (i, c) in self.classes.iter().enumerate() {
+            for b in &c.bases {
+                children[b.id.index()].push(ClassId(i as u32));
+            }
         }
+        self.children = children;
     }
 
     /// Resolves a syntactic type: checks named types exist, rewrites enum
@@ -655,6 +694,16 @@ impl Program {
         self.free_fn_by_name.get(name).copied()
     }
 
+    /// The interned symbol of the function's (unqualified) name.
+    pub fn fn_name_symbol(&self, id: FuncId) -> Symbol {
+        self.fn_name_syms[id.index()]
+    }
+
+    /// The function-name interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
     /// The `main` function, if present.
     pub fn main_function(&self) -> Option<FuncId> {
         self.free_function("main")
@@ -726,12 +775,29 @@ impl Program {
             .any(|b| self.derives_from(b.id, sup))
     }
 
-    /// All transitive subclasses of `class`, including itself.
+    /// All transitive subclasses of `class`, including itself, in
+    /// ascending id order.
+    ///
+    /// Walks the inverted base relation, so the cost is proportional to
+    /// the subtree (plus a sort), not to the whole class table — the
+    /// old scan-every-class form made dispatch-candidate resolution
+    /// quadratic on deep generated hierarchies. The output is exactly
+    /// what the scan produced: reflexive, deduplicated, ascending.
     pub fn subclasses_of(&self, class: ClassId) -> Vec<ClassId> {
-        (0..self.classes.len())
-            .map(|i| ClassId(i as u32))
-            .filter(|&c| self.derives_from(c, class))
-            .collect()
+        let mut seen = crate::bitset::DenseBitSet::with_capacity(self.classes.len());
+        let mut out = Vec::new();
+        let mut stack = vec![class];
+        seen.insert(class.0);
+        while let Some(c) = stack.pop() {
+            out.push(c);
+            for &d in &self.children[c.index()] {
+                if seen.insert(d.0) {
+                    stack.push(d);
+                }
+            }
+        }
+        out.sort_unstable_by_key(|c| c.index());
+        out
     }
 
     /// All direct and transitive base classes of `class` (no duplicates,
@@ -924,6 +990,55 @@ mod tests {
         assert!(!p.derives_from(d, a));
         assert_eq!(p.subclasses_of(a).len(), 3);
         assert_eq!(p.ancestors_of(c).len(), 2);
+    }
+
+    #[test]
+    fn subclasses_match_the_brute_force_scan() {
+        // Diamond plus a chain hanging off one arm, declared out of
+        // id order so the ascending-output contract is exercised.
+        let p = build(
+            "class Top { };\n\
+             class R : public Top { };\n\
+             class L : public Top { };\n\
+             class D : public L, public R { };\n\
+             class E : public D { };\n\
+             class Apart { };\n\
+             int main() { return 0; }",
+        );
+        for ci in 0..p.class_count() {
+            let c = ClassId(ci as u32);
+            let brute: Vec<ClassId> = (0..p.class_count())
+                .map(|i| ClassId(i as u32))
+                .filter(|&s| p.derives_from(s, c))
+                .collect();
+            assert_eq!(p.subclasses_of(c), brute, "class {}", p.class(c).name);
+        }
+        let top = p.class_by_name("Top").unwrap();
+        assert_eq!(p.subclasses_of(top).len(), 5, "diamond counted once");
+    }
+
+    #[test]
+    fn function_name_symbols_round_trip() {
+        let p = build(
+            "class A { public: int f() { return 0; } };\n\
+             class B { public: int f() { return 1; } };\n\
+             int g() { return 2; } int main() { return 0; }",
+        );
+        let a = p.class_by_name("A").unwrap();
+        let b = p.class_by_name("B").unwrap();
+        let fa = p.direct_method(a, "f").unwrap();
+        let fb = p.direct_method(b, "f").unwrap();
+        assert_eq!(
+            p.fn_name_symbol(fa),
+            p.fn_name_symbol(fb),
+            "same name, same symbol"
+        );
+        assert_ne!(
+            p.fn_name_symbol(fa),
+            p.fn_name_symbol(p.main_function().unwrap())
+        );
+        assert_eq!(p.interner().resolve(p.fn_name_symbol(fa)), "f");
+        assert_eq!(p.interner().lookup("g"), Some(p.fn_name_symbol(p.free_function("g").unwrap())));
     }
 
     #[test]

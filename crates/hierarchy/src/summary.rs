@@ -43,11 +43,12 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 /// extraction across worker threads. Below it, thread spawn and join
 /// overhead exceeds the walk itself (the suite's programs are 16–85
 /// functions; spawning eight workers for them is where the `--jobs 8`
-/// regression in `BENCH_suite.json` came from). The threshold is
-/// deliberately *not* tied to the host's CPU count: extraction results
-/// are identical either way, and a fixed cut keeps the execution shape
-/// reproducible across machines.
-pub const EXTRACTION_SHARD_THRESHOLD: usize = 64;
+/// regression in `BENCH_suite.json` came from — at 64 the suite's
+/// larger programs still sharded and still lost, so the cut sits above
+/// the whole suite). The threshold is deliberately *not* tied to the
+/// host's CPU count: extraction results are identical either way, and a
+/// fixed cut keeps the execution shape reproducible across machines.
+pub const EXTRACTION_SHARD_THRESHOLD: usize = 256;
 
 /// Dense program-wide numbering of every data member.
 ///
@@ -563,7 +564,19 @@ fn containment_closure(program: &Program, class: ClassId) -> Vec<ClassId> {
     out
 }
 
-fn extract_function(
+/// Extracts the summary of one function body, walking it exactly once.
+///
+/// Public because the call-graph fixpoint's parallel rounds pre-extract
+/// the bodies of a round's batch on worker threads and replay the
+/// summaries in slot order — the PR-2 walk-once equivalence (replaying
+/// an extracted summary observes the same events as walking the body)
+/// is what keeps that bit-identical to the sequential walk.
+///
+/// # Errors
+///
+/// Returns the [`TypeError`] the walk produced, exactly as the walk
+/// engine would surface it at this body.
+pub fn extract_function(
     program: &Program,
     lookup: &MemberLookup<'_>,
     func: FuncId,
@@ -697,14 +710,14 @@ impl EventVisitor for Extractor<'_, '_> {
             } => {
                 if *is_virtual_dispatch {
                     let program = self.program;
-                    let name = program.function(*func).name.clone();
+                    let name: &str = &program.function(*func).name;
                     let refined = match (self.refine, receiver_var) {
-                        (true, Some(var)) => self.refined_targets(var, &name),
+                        (true, Some(var)) => self.refined_targets(var, name),
                         _ => None,
                     };
                     let candidates = self
                         .lookup
-                        .dispatch_candidates(*receiver_class, &name)
+                        .dispatch_candidates_for(*receiver_class, *func)
                         .to_vec();
                     self.out.cg_steps.push(CgStep::VirtualCall(VirtualSite {
                         decl: *func,

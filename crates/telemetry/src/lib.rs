@@ -184,6 +184,10 @@ pub struct ExecStats {
     pub tus_parsed: u64,
     /// TUs actually summarized (walked) this run.
     pub tus_summarized: u64,
+    /// Bytes held by the call-graph symbol interner's string arena.
+    pub cg_arena_bytes: u64,
+    /// Distinct function-name symbols interned for dispatch caching.
+    pub cg_interned_symbols: u64,
     /// Per-round delta-batch sizes of the call-graph fixpoint: entry `r`
     /// is how many worklist slots round `r` processed. Empty when no
     /// propagating build ran (e.g. the `Everything` algorithm).
@@ -192,7 +196,7 @@ pub struct ExecStats {
 
 impl ExecStats {
     /// Stable (key, value) view of the numeric fields, in rendering order.
-    pub fn rows(&self) -> [(&'static str, u64); 15] {
+    pub fn rows(&self) -> [(&'static str, u64); 17] {
         [
             ("jobs", self.jobs),
             ("bodies_walked", self.bodies_walked),
@@ -209,6 +213,8 @@ impl ExecStats {
             ("tu_cache_invalidations", self.tu_cache_invalidations),
             ("tus_parsed", self.tus_parsed),
             ("tus_summarized", self.tus_summarized),
+            ("cg_arena_bytes", self.cg_arena_bytes),
+            ("cg_interned_symbols", self.cg_interned_symbols),
         ]
     }
 }

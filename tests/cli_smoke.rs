@@ -141,14 +141,24 @@ fn stats_flag_prints_sections_on_stderr_only() {
 
 #[test]
 fn trace_out_writes_valid_chrome_json_with_worker_lanes() {
-    let deltablue = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/crates/benchmarks/programs/deltablue.cpp"
-    );
+    // Sharding (summary extraction, parallel call-graph rounds, and the
+    // scan) only kicks in above the 256-function thresholds, so the
+    // suite programs stay sequential at any --jobs; generate a wide
+    // program big enough that all eight requested lanes record spans.
+    let mut wide = String::from("class A { public: int f; };\n");
+    for i in 0..300 {
+        wide.push_str(&format!("int leaf{i}(A* a) {{ return a->f + {i}; }}\n"));
+    }
+    wide.push_str("int main() { A a; int t = 0;\n");
+    for i in 0..300 {
+        wide.push_str(&format!("  t = t + leaf{i}(&a);\n"));
+    }
+    wide.push_str("  return t; }\n");
+    let src = write_temp("trace", &wide);
     let trace_path =
         std::env::temp_dir().join(format!("ddm_cli_trace_{}.json", std::process::id()));
     let out = ddm()
-        .arg(deltablue)
+        .arg(&src)
         .arg("--jobs")
         .arg("8")
         .arg("--trace-out")

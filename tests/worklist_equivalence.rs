@@ -292,6 +292,23 @@ fn assert_matches_oracle(label: &str, source: &str, algorithm: Algorithm) {
     let replayed = CallGraph::build_from_summary(&program, &summary, &options)
         .unwrap_or_else(|e| panic!("{label}: replay build: {e}"));
     assert_eq!(walked, replayed, "{label}: engines disagree");
+    // The parallel round path must be invisible in the artifact: any
+    // worker count, same graph (rounds below the parallel threshold
+    // take the sequential path and are trivially identical; the wide
+    // shapes below cross it).
+    for jobs in [2, 8] {
+        let options_jobs = CallGraphOptions {
+            algorithm,
+            jobs,
+            ..Default::default()
+        };
+        let walked_jobs = CallGraph::build(&program, &lookup, &options_jobs)
+            .unwrap_or_else(|e| panic!("{label}: walk build (jobs={jobs}): {e}"));
+        assert_eq!(
+            walked, walked_jobs,
+            "{label}: jobs={jobs} walk diverged from sequential"
+        );
+    }
 
     if algorithm == Algorithm::Everything {
         // The oracle only reimplements the propagating builders; the
@@ -421,6 +438,61 @@ fn scale_programs_match_the_prechange_sweep() {
         for algorithm in [Algorithm::Cha, Algorithm::Rta, Algorithm::Pta] {
             assert_matches_oracle(&format!("scale seed {seed}/{algorithm}"), &source, algorithm);
         }
+    }
+}
+
+#[test]
+fn diamond_hierarchies_match_the_prechange_sweep() {
+    // Virtual and non-virtual diamonds with overrides on every edge,
+    // and dispatch sites that run before the joining class exists —
+    // the park/release schedule must drain in the oracle's order.
+    let source = "\
+class Top { public: int t; virtual int poke() { return t; } };
+class L : virtual public Top { public: int l; virtual int poke() { return l + t; } };
+class R : virtual public Top { public: int r; virtual int poke() { return r + t; } };
+class J : public L, public R { public: int j; virtual int poke() { return j + l + r; } };
+class NT { public: int nt; virtual int poke() { return nt; } };
+class NL : public NT { public: int nl; virtual int poke() { return nl + nt; } };
+class NR : public NT { public: int nr; virtual int poke() { return nr + nt; } };
+class NJ : public NL, public NR { public: int nj; virtual int poke() { return nj + nl + nr; } };
+int disp(Top* p) { return p->poke(); }
+int dispn(NL* p) { return p->poke(); }
+int early() { L shallow; return disp(&shallow); }
+int late() { J joined; NJ* n = new NJ(); int acc = disp(&joined) + dispn(n); delete n; return acc; }
+int main() { int a = early(); a = a + late(); return a; }
+";
+    for algorithm in [Algorithm::Cha, Algorithm::Rta, Algorithm::Pta] {
+        assert_matches_oracle(&format!("diamond/{algorithm}"), source, algorithm);
+    }
+}
+
+#[test]
+fn wide_rounds_match_the_prechange_sweep() {
+    // One round wider than PARALLEL_ROUND_THRESHOLD, so the jobs={2,8}
+    // builds inside assert_matches_oracle actually take the parallel
+    // pre-extraction path — with an instantiation landing mid-round so
+    // readied drain slots interleave with first processings.
+    let n = dead_data_members::callgraph::PARALLEL_ROUND_THRESHOLD + 44;
+    let mut source = String::from(
+        "class A { public: int f; virtual int m() { return f; } };\n\
+         class B : public A { public: int g; virtual int m() { return g + f; } };\n",
+    );
+    for i in 0..n {
+        if i == n / 2 {
+            source.push_str(&format!(
+                "int leaf{i}(A* a) {{ B b; return a->m() + b.m() + {i}; }}\n"
+            ));
+        } else {
+            source.push_str(&format!("int leaf{i}(A* a) {{ return a->m() + {i}; }}\n"));
+        }
+    }
+    source.push_str("int main() { A a; int t = 0;\n");
+    for i in 0..n {
+        source.push_str(&format!("  t = t + leaf{i}(&a);\n"));
+    }
+    source.push_str("  return t; }\n");
+    for algorithm in [Algorithm::Cha, Algorithm::Rta] {
+        assert_matches_oracle(&format!("wide/{algorithm}"), &source, algorithm);
     }
 }
 

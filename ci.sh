@@ -30,6 +30,25 @@ cargo test --release --test telemetry_determinism
 cargo test --release --test provenance_soundness
 cargo test --release --test cli_smoke
 
+echo "== flight recorder: det-class byte-identity + zero-alloc when off =="
+cargo test --release --test flight_recorder
+cargo test --release --test recorder_zero_alloc
+# CLI surface: the deterministic event stream and the metrics document
+# must be byte-identical across engines x jobs, and both outputs must
+# pass the in-tree JSON validator (bench_report --validate FILE...).
+cargo run --release --bin ddm -- crates/benchmarks/programs/richards.cpp \
+    --engine walk --jobs 1 --log-out /tmp/ddm_ci_w1.ndjson --log-filter det \
+    --metrics-out /tmp/ddm_ci_w1_metrics.json > /dev/null
+cargo run --release --bin ddm -- crates/benchmarks/programs/richards.cpp \
+    --engine summary --jobs 8 --log-out /tmp/ddm_ci_s8.ndjson --log-filter det \
+    --metrics-out /tmp/ddm_ci_s8_metrics.json > /dev/null
+cmp /tmp/ddm_ci_w1.ndjson /tmp/ddm_ci_s8.ndjson
+cmp /tmp/ddm_ci_w1_metrics.json /tmp/ddm_ci_s8_metrics.json
+cargo run --release -p ddm-bench --bin bench_report -- --validate \
+    /tmp/ddm_ci_w1.ndjson /tmp/ddm_ci_w1_metrics.json
+rm -f /tmp/ddm_ci_w1.ndjson /tmp/ddm_ci_s8.ndjson \
+    /tmp/ddm_ci_w1_metrics.json /tmp/ddm_ci_s8_metrics.json
+
 echo "== telemetry: chrome trace export (--jobs 8, one lane per worker) =="
 # The suite programs sit below the 256-function sharding thresholds and
 # run sequentially at any --jobs, so the lane check needs a generated
@@ -69,13 +88,19 @@ cargo run --release --bin ddm -- crates/benchmarks/programs/multi/*.cpp \
     > /tmp/ddm_ci_cold.out 2> /tmp/ddm_ci_cold.err
 cargo run --release --bin ddm -- crates/benchmarks/programs/multi/*.cpp \
     --engine summary --cache-dir /tmp/ddm_ci_cache --stats \
+    --log-out /tmp/ddm_ci_warm.ndjson \
     > /tmp/ddm_ci_warm.out 2> /tmp/ddm_ci_warm.err
 cmp /tmp/ddm_ci_cold.out /tmp/ddm_ci_warm.out
 # The warm run must hit the cache for every TU and summarize none.
 grep -Eq 'tus_summarized +0$' /tmp/ddm_ci_warm.err
 grep -Eq 'tu_cache_hits +3$' /tmp/ddm_ci_warm.err
+# The flight recorder must log the same story: one tu_cache_hit probe
+# event per TU, and no miss/invalidation.
+test "$(grep -c '"event":"tu_cache_hit"' /tmp/ddm_ci_warm.ndjson)" = 3
+! grep -q '"event":"tu_cache_miss"' /tmp/ddm_ci_warm.ndjson
+! grep -q '"event":"tu_cache_invalidated"' /tmp/ddm_ci_warm.ndjson
 rm -rf /tmp/ddm_ci_cache /tmp/ddm_ci_cold.out /tmp/ddm_ci_cold.err \
-    /tmp/ddm_ci_warm.out /tmp/ddm_ci_warm.err
+    /tmp/ddm_ci_warm.out /tmp/ddm_ci_warm.err /tmp/ddm_ci_warm.ndjson
 
 echo "== differential fuzz: capped sweep + shrinker =="
 cargo test --release --test differential_fuzz
@@ -86,12 +111,10 @@ cargo test --release --test cache_torture
 echo "== fuzz smoke (gating: fixed seed block, wall-clock ceiling enforced in-binary) =="
 cargo run --release -p ddm-bench --bin bench_fuzz -- --smoke --json > /dev/null
 test -s BENCH_fuzz_smoke.json
-rm -f BENCH_fuzz_smoke.json
 
 echo "== incremental bench smoke (gating: wall-clock ceiling enforced in-binary) =="
 cargo run --release -p ddm-bench --bin bench_incremental -- --smoke --json > /dev/null
 test -s BENCH_incremental_smoke.json
-rm -f BENCH_incremental_smoke.json
 
 echo "== bench suite smoke (non-gating on time) =="
 cargo run --release -p ddm-bench --bin bench_suite -- --json --samples 3 > /dev/null
@@ -100,6 +123,13 @@ test -s BENCH_suite.json
 echo "== scale bench smoke (gating: wall-clock ceiling enforced in-binary) =="
 cargo run --release -p ddm-bench --bin bench_scale -- --smoke --json > /dev/null
 test -s BENCH_scale_smoke.json
-rm -f BENCH_scale_smoke.json
+
+echo "== bench report: counter-baseline regression gate (hard-fail on drift) =="
+# Recomputes the 11 suite programs' deterministic counters in-process
+# and diffs them against the committed golden baselines; timings are
+# warn-only on this 1-CPU host. Runs after the smokes so every family
+# has a readable report file.
+cargo run --release -p ddm-bench --bin bench_report -- --check --smoke --validate
+rm -f BENCH_fuzz_smoke.json BENCH_incremental_smoke.json BENCH_scale_smoke.json
 
 echo "ci.sh: all gates passed"

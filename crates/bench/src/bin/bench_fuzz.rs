@@ -21,6 +21,7 @@
 //! ceiling and writes `BENCH_fuzz_smoke.json` — the CI gate.
 
 use ddm_bench::fuzz::{case_for_seed_in, run_case, shrink_divergence, CaseResult, FuzzCase};
+use ddm_bench::host_meta_json;
 use ddm_benchmarks::generator::{FuzzShape, FUZZ_SHAPES};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -270,6 +271,7 @@ fn render_json(opts: &Options, outcome: &SweepOutcome, elapsed: Duration) -> Str
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"suite\": \"ddm differential fuzz\",\n");
+    let _ = writeln!(out, "  \"host\": {},", host_meta_json());
     let _ = writeln!(
         out,
         "  \"seed_range\": \"{}..{}\",",

@@ -25,7 +25,7 @@
 //! smallest size with one sample and fails if it exceeds a wall-clock
 //! ceiling — the CI gate.
 
-use ddm_bench::timing;
+use ddm_bench::{host_meta_json, timing};
 use ddm_callgraph::Algorithm;
 use ddm_core::{AnalysisConfig, Engine, ProjectPipeline};
 use ddm_telemetry::Telemetry;
@@ -235,6 +235,7 @@ fn render_json(results: &[SizeResult], samples: usize) -> String {
     out.push_str("  \"engine\": \"summary\",\n");
     out.push_str("  \"algorithm\": \"rta\",\n");
     let _ = writeln!(out, "  \"samples\": {samples},");
+    let _ = writeln!(out, "  \"host\": {},", host_meta_json());
     out.push_str("  \"sizes\": [\n");
     for (i, r) in results.iter().enumerate() {
         let c = &r.config;

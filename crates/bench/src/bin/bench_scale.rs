@@ -27,7 +27,7 @@
 //! writes the smallest size's generated source to `PATH` so the CI
 //! trace gate has a program big enough to shard eight ways.
 
-use ddm_bench::{effective_jobs, timing};
+use ddm_bench::{effective_jobs, host_meta_json, timing};
 use ddm_benchmarks::generator::{generate_scale, scale_function_count, ScaleConfig};
 use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
 use ddm_hierarchy::{MemberLookup, Program, ProgramSummary};
@@ -182,6 +182,7 @@ fn render_json(results: &[SizeResult], samples: usize) -> String {
     out.push_str("  \"algorithm\": \"rta\",\n");
     out.push_str(&format!("  \"samples\": {samples},\n"));
     out.push_str(&format!("  \"jobs8_effective\": {},\n", effective_jobs(8)));
+    out.push_str(&format!("  \"host\": {},\n", host_meta_json()));
     out.push_str("  \"sizes\": [\n");
     for (i, r) in results.iter().enumerate() {
         let c = &r.config;

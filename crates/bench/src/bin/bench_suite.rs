@@ -16,11 +16,11 @@
 //! samples (default 9) — the least noisy estimator for deterministic
 //! CPU-bound work.
 
-use ddm_bench::{effective_jobs, timing};
+use ddm_bench::{capture_counters, effective_jobs, host_meta_json, suite_analysis_config, timing};
 use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
-use ddm_core::{AnalysisConfig, AnalysisPipeline, DeadMemberAnalysis, Engine, SizeofPolicy};
+use ddm_core::{AnalysisConfig, DeadMemberAnalysis};
 use ddm_hierarchy::{MemberLookup, Program, ProgramSummary};
-use ddm_telemetry::{Counters, Telemetry};
+use ddm_telemetry::Counters;
 use std::time::Duration;
 
 struct Cell {
@@ -44,30 +44,11 @@ struct Row {
     counters: Counters,
 }
 
-/// The deterministic counters of one end-to-end analysis of `source`.
-fn capture_counters(source: &str) -> Counters {
-    let telemetry = Telemetry::enabled();
-    AnalysisPipeline::with_config_telemetry(
-        source,
-        suite_config(),
-        Algorithm::Rta,
-        1,
-        Engine::Summary,
-        &telemetry,
-    )
-    .expect("suite program analyses cleanly");
-    telemetry.counters()
-}
-
 const JOBS: [usize; 2] = [1, 8];
 const ENGINES: [&str; 2] = ["walk", "summary"];
 
 fn suite_config() -> AnalysisConfig {
-    AnalysisConfig {
-        assume_safe_downcasts: true,
-        sizeof_policy: SizeofPolicy::Ignore,
-        ..Default::default()
-    }
+    suite_analysis_config()
 }
 
 fn measure(program: &Program, samples: usize) -> [[Cell; 2]; 2] {
@@ -132,6 +113,7 @@ fn render_json(rows: &[Row], samples: usize) -> String {
     out.push_str("  \"algorithm\": \"rta\",\n");
     out.push_str(&format!("  \"samples\": {samples},\n"));
     out.push_str(&format!("  \"jobs8_effective\": {},\n", effective_jobs(8)));
+    out.push_str(&format!("  \"host\": {},\n", host_meta_json()));
     out.push_str("  \"programs\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(

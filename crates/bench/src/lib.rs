@@ -22,8 +22,10 @@
 pub mod fuzz;
 
 use ddm_benchmarks::Benchmark;
-use ddm_core::PipelineError;
+use ddm_callgraph::Algorithm;
+use ddm_core::{AnalysisConfig, AnalysisPipeline, Engine, PipelineError, SizeofPolicy};
 use ddm_dynamic::{profile_trace, HeapProfile, Interpreter, RunConfig, RuntimeError};
+use ddm_telemetry::{Counters, Telemetry};
 
 /// Everything measured about one benchmark: the static report and the
 /// dynamic profile.
@@ -156,6 +158,55 @@ pub fn effective_jobs(requested: usize) -> usize {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     requested.min(available).max(1)
+}
+
+/// The logical CPU count the kernel reports (1 if unknowable).
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Renders the uniform host-metadata object every BENCH_*.json header
+/// embeds: logical CPU count and the clamped `--jobs 8` width. Timing
+/// entries are only comparable across runs when this context rides
+/// along with the numbers, so every writer — and the `bench_report`
+/// history — uses this one renderer.
+pub fn host_meta_json() -> String {
+    format!(
+        "{{\"cpus\": {}, \"jobs8_effective\": {}}}",
+        host_cpus(),
+        effective_jobs(8)
+    )
+}
+
+/// The analysis configuration the benchmark suite is measured under —
+/// shared by `bench_suite` and the `bench_report` counter gate so the
+/// golden baselines are captured under exactly the measured config.
+pub fn suite_analysis_config() -> AnalysisConfig {
+    AnalysisConfig {
+        assume_safe_downcasts: true,
+        sizeof_policy: SizeofPolicy::Ignore,
+        ..Default::default()
+    }
+}
+
+/// The deterministic counters of one end-to-end analysis of `source`
+/// under [`suite_analysis_config`]. Engine and jobs never change the
+/// counters (pinned by the equivalence suites), so one capture is
+/// exact, not sampled.
+pub fn capture_counters(source: &str) -> Counters {
+    let telemetry = Telemetry::enabled();
+    AnalysisPipeline::with_config_telemetry(
+        source,
+        suite_analysis_config(),
+        Algorithm::Rta,
+        1,
+        Engine::Summary,
+        &telemetry,
+    )
+    .expect("suite program analyses cleanly");
+    telemetry.counters()
 }
 
 /// Parses a `--jobs N` pair out of the process arguments (shared by the

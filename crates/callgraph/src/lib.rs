@@ -40,7 +40,7 @@ use ddm_hierarchy::{
     ClassBitSet, ClassId, DeleteEvent, EventVisitor, FnSummary, FuncBitSet, FuncId,
     InstantiationEvent, MemberLookup, Program, ProgramSummary, TypeError,
 };
-use ddm_telemetry::{Counters, Telemetry, LANE_MAIN};
+use ddm_telemetry::{Counters, EventClass, Histogram, Telemetry, LANE_MAIN};
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet};
@@ -250,6 +250,14 @@ impl CallGraph {
                     return;
                 }
                 let per_shard = todo.len().div_ceil(jobs);
+                // Shard activation depends on --jobs, so it is obs class.
+                telemetry.event(EventClass::Observational, "cg_round_sharded", || {
+                    vec![
+                        ("fns", todo.len().into()),
+                        ("shards", todo.len().div_ceil(per_shard).into()),
+                        ("jobs", jobs.into()),
+                    ]
+                });
                 let extracted: Vec<(FuncId, Result<FnSummary, TypeError>)> =
                     std::thread::scope(|scope| {
                         let handles: Vec<_> = todo
@@ -520,6 +528,11 @@ struct PropState<'p> {
     pops: u64,
     drains: u64,
     parked: u64,
+    /// Distribution of unrefined virtual-site candidate-set sizes. A
+    /// fixed inline array (no allocation, no branch on telemetry state):
+    /// recording is one array increment, and the buckets only reach the
+    /// metrics registry in [`PropState::flush_telemetry`].
+    dispatch_candidates: Histogram,
 }
 
 impl<'p> PropState<'p> {
@@ -552,6 +565,7 @@ impl<'p> PropState<'p> {
             pops: 0,
             drains: 0,
             parked: 0,
+            dispatch_candidates: Histogram::default(),
         };
         for f in roots {
             st.mark_reachable(f);
@@ -616,6 +630,7 @@ impl<'p> PropState<'p> {
         candidates: &[(ClassId, FuncId)],
         register: bool,
     ) {
+        self.dispatch_candidates.record(candidates.len() as u64);
         let mut any = false;
         for &(c, f) in candidates {
             if self.cha || self.instantiated.contains(c) {
@@ -805,6 +820,25 @@ impl<'p> PropState<'p> {
             cg_ready_drains: self.drains,
             ..Counters::default()
         });
+        // Fixpoint summary event. Every field is schedule-equivalent
+        // across engines and job counts (the same invariant the
+        // deterministic counters are under), so this is det class.
+        telemetry.event(EventClass::Deterministic, "cg_fixpoint", || {
+            vec![
+                ("rounds", rounds.into()),
+                ("pops", self.pops.into()),
+                ("drains", self.drains.into()),
+                ("parked", self.parked.into()),
+                ("reachable", self.reachable.count().into()),
+                ("instantiated", self.instantiated.count().into()),
+                ("edges", self.edge_total.into()),
+            ]
+        });
+        telemetry.metrics(|m| {
+            m.counter_add("callgraph/worklist_pops", self.pops);
+            m.counter_add("callgraph/ready_drains", self.drains);
+            m.hist_merge("callgraph/dispatch_candidates", &self.dispatch_candidates);
+        });
     }
 
     /// Freezes the grow-phase state into the dense public representation:
@@ -864,6 +898,9 @@ fn run_fixpoint<'p, E>(
             format!("{label} delta {rounds} ({} fns)", batch.len())
         });
         telemetry.update_stats(|s| s.cg_round_deltas.push(batch.len() as u64));
+        telemetry.metrics(|m| m.hist_record("callgraph/round_delta_fns", batch.len() as u64));
+        let (pops_before, drains_before) = (state.pops, state.drains);
+        let delta_fns = batch.len() as u64;
         prepare(state, &batch);
         for f in batch {
             state.in_next.remove(f);
@@ -880,6 +917,19 @@ fn run_fixpoint<'p, E>(
             }
         }
         state.resolve_fp_delta();
+        // The round's delta size and slot mix are schedule-equivalent
+        // across engines and job counts (pinned by the worklist
+        // equivalence suite), so the round event is det class. The label
+        // is NOT a field: it names the engine ("callgraph" vs "callgraph
+        // replay") and would break cross-engine byte-identity.
+        telemetry.event(EventClass::Deterministic, "cg_round", || {
+            vec![
+                ("round", rounds.into()),
+                ("delta_fns", delta_fns.into()),
+                ("pops", (state.pops - pops_before).into()),
+                ("drains", (state.drains - drains_before).into()),
+            ]
+        });
         drop(round_span);
         rounds += 1;
     }

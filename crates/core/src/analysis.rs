@@ -24,7 +24,7 @@ use ddm_hierarchy::{
     MemberAccessEvent, MemberAccessKind, MemberLookup, MemberRef, Program, ProgramSummary,
     TypeError,
 };
-use ddm_telemetry::{Counters, Telemetry, LANE_MAIN};
+use ddm_telemetry::{Counters, EventClass, Telemetry, LANE_MAIN};
 use std::collections::HashSet;
 use std::sync::mpsc;
 
@@ -164,6 +164,7 @@ impl<'p> DeadMemberAnalysis<'p> {
         marker.counters.union_classes_livened =
             marker.visited.len() as u64 - marker.counters.markall_classes_expanded;
         drop(union_span);
+        emit_liveness_events(telemetry, &marker.counters);
     }
 
     /// Runs the algorithm with the reachable-function scan sharded across
@@ -453,6 +454,7 @@ impl<'p> DeadMemberAnalysis<'p> {
         marker.counters.union_classes_livened =
             marker.visited.len() as u64 - marker.counters.markall_classes_expanded;
         drop(union_span);
+        emit_liveness_events(telemetry, &marker.counters);
         telemetry.add_counters(&marker.counters);
         Ok(marker.liveness)
     }
@@ -495,6 +497,38 @@ impl<'p> DeadMemberAnalysis<'p> {
         walk_globals(self.program, &lookup, &mut sink)?;
         Ok(marker)
     }
+}
+
+/// Flight-recorder tail of every liveness engine: the scan totals and
+/// the union post-pass outcome, read from the merged counters (which are
+/// jobs- and engine-invariant at this point), so both events are det
+/// class no matter which engine or shard count produced them.
+fn emit_liveness_events(telemetry: &Telemetry, counters: &Counters) {
+    telemetry.event(EventClass::Deterministic, "liveness_scan", || {
+        vec![
+            ("reads", counters.scan_reads.into()),
+            ("address_taken", counters.scan_address_taken.into()),
+            ("ptr_to_member", counters.scan_ptr_to_member.into()),
+            ("volatile_writes", counters.scan_volatile_writes.into()),
+            ("markall_triggers", counters.markall_triggers.into()),
+        ]
+    });
+    telemetry.event(EventClass::Deterministic, "liveness_union", || {
+        vec![
+            ("classes_expanded", counters.markall_classes_expanded.into()),
+            ("rounds", counters.union_rounds.into()),
+            ("classes_livened", counters.union_classes_livened.into()),
+        ]
+    });
+    telemetry.metrics(|m| {
+        m.counter_add("liveness/scan_reads", counters.scan_reads);
+        m.counter_add("liveness/markall_triggers", counters.markall_triggers);
+        m.hist_record("liveness/union_rounds", counters.union_rounds);
+        m.hist_record(
+            "liveness/union_classes_livened",
+            counters.union_classes_livened,
+        );
+    });
 }
 
 struct Marker<'p, 'c> {

@@ -24,6 +24,7 @@ use ddm_cppfront::ast::{
 };
 use ddm_cppfront::print_unit;
 use ddm_hierarchy::{MemberRef, Program};
+use ddm_telemetry::{EventClass, Telemetry};
 
 use std::collections::{HashMap, HashSet};
 
@@ -98,6 +99,15 @@ impl std::fmt::Display for KeepReason {
 ///    itself (so it can be reduced to its right-hand side);
 /// 5. no pointer-to-member expression names `m`.
 pub fn eliminate(pipeline: &AnalysisPipeline) -> Elimination {
+    eliminate_with(pipeline, &Telemetry::disabled())
+}
+
+/// [`eliminate`] with telemetry: every removal and every keep-with-reason
+/// decision lands in the flight recorder. Elimination reads only the
+/// analysed program and its liveness verdicts — all of them engine- and
+/// jobs-invariant — and its own output is sorted, so every elimination
+/// event is deterministic class.
+pub fn eliminate_with(pipeline: &AnalysisPipeline, telemetry: &Telemetry) -> Elimination {
     let program = pipeline.program();
     let tu = pipeline.translation_unit();
     let liveness = pipeline.liveness();
@@ -151,6 +161,26 @@ pub fn eliminate(pipeline: &AnalysisPipeline) -> Elimination {
 
     removed.sort();
     kept.sort_by(|a, b| a.0.cmp(&b.0));
+    for member in &removed {
+        telemetry.event(EventClass::Deterministic, "eliminate_remove", || {
+            vec![("member", member.as_str().into())]
+        });
+    }
+    for (member, reason) in &kept {
+        telemetry.event(EventClass::Deterministic, "eliminate_keep", || {
+            vec![
+                ("member", member.as_str().into()),
+                ("reason", reason.to_string().into()),
+            ]
+        });
+    }
+    telemetry.event(EventClass::Deterministic, "elimination_done", || {
+        vec![("removed", removed.len().into()), ("kept", kept.len().into())]
+    });
+    telemetry.metrics(|m| {
+        m.gauge_set("eliminate/removed", removed.len() as i64);
+        m.gauge_set("eliminate/kept", kept.len() as i64);
+    });
     Elimination {
         source: print_unit(&transformed),
         removed,

@@ -31,7 +31,7 @@ pub mod project;
 pub mod report;
 
 pub use analysis::{AnalysisConfig, DeadMemberAnalysis, SizeofPolicy, SEQUENTIAL_SCAN_THRESHOLD};
-pub use eliminate::{eliminate, Elimination, KeepReason};
+pub use eliminate::{eliminate, eliminate_with, Elimination, KeepReason};
 pub use explain::{explain, witness_path};
 pub use liveness::{LiveReason, Liveness, Origin};
 pub use pipeline::{AnalysisPipeline, Engine, PipelineError};

@@ -10,7 +10,7 @@ use ddm_hierarchy::{
     body_walk_count, used_classes, ClassId, MemberLookup, Program, ProgramSummary, SemaError,
     TypeError,
 };
-use ddm_telemetry::{Counters, Telemetry, LANE_MAIN};
+use ddm_telemetry::{Counters, EventClass, Telemetry, LANE_MAIN};
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
@@ -276,6 +276,7 @@ impl AnalysisPipeline {
             }
         }
         telemetry.add_counters(&tail);
+        emit_classification_event(telemetry, &tail);
 
         Ok(AnalysisPipeline {
             tu,
@@ -375,6 +376,30 @@ impl AnalysisPipeline {
     pub fn report(&self) -> Report {
         Report::new(&self.program, &self.liveness, &self.used)
     }
+}
+
+/// Flight-recorder tail shared by the single-TU and project pipelines:
+/// the final classification verdict alongside the graph totals that
+/// scoped it — all deterministic-counter fields, so det class.
+pub(crate) fn emit_classification_event(telemetry: &Telemetry, tail: &Counters) {
+    telemetry.event(EventClass::Deterministic, "classification", || {
+        vec![
+            ("reachable_functions", tail.reachable_functions.into()),
+            ("callgraph_edges", tail.callgraph_edges.into()),
+            ("instantiated_classes", tail.instantiated_classes.into()),
+            ("live", tail.members_live.into()),
+            ("dead", tail.members_dead.into()),
+            ("unclassifiable", tail.members_unclassifiable.into()),
+        ]
+    });
+    telemetry.metrics(|m| {
+        m.gauge_set("classify/members_live", tail.members_live as i64);
+        m.gauge_set("classify/members_dead", tail.members_dead as i64);
+        m.gauge_set(
+            "classify/members_unclassifiable",
+            tail.members_unclassifiable as i64,
+        );
+    });
 }
 
 #[cfg(test)]

@@ -28,15 +28,15 @@
 
 use crate::analysis::{AnalysisConfig, DeadMemberAnalysis};
 use crate::liveness::Liveness;
-use crate::pipeline::{Engine, PipelineError};
+use crate::pipeline::{emit_classification_event, Engine, PipelineError};
 use crate::report::Report;
 use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
 use ddm_cppfront::{parse, SourceMap, SourceSet};
 use ddm_hierarchy::{
-    body_walk_count, fnv1a64, hash_hex, link, used_classes, ClassId, LinkError, LinkedProgram,
-    MemberLookup, Program, ProgramSummary, TuModule, TypeError,
+    body_walk_count, fnv1a64, hash_hex, link_with, used_classes, ClassId, LinkError,
+    LinkedProgram, MemberLookup, Program, ProgramSummary, TuModule, TypeError,
 };
-use ddm_telemetry::{Counters, Telemetry, LANE_MAIN};
+use ddm_telemetry::{Counters, EventClass, Telemetry, LANE_MAIN};
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
@@ -171,7 +171,7 @@ fn publish_entry(dir: &Path, source_hash: u64, doc: &str) {
 /// Runs when a cache directory is opened for probing; racing against a
 /// live concurrent writer is harmless — the victim's rename fails and
 /// its entry is simply recomputed on its next run.
-fn sweep_dangling_temps(dir: &Path) {
+fn sweep_dangling_temps(dir: &Path, telemetry: &Telemetry) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
@@ -180,7 +180,23 @@ fn sweep_dangling_temps(dir: &Path) {
         let name = name.to_string_lossy();
         if name.starts_with("tu-") && name.contains(".json.tmp") {
             let _ = std::fs::remove_file(entry.path());
+            telemetry.event(EventClass::Observational, "cache_temp_swept", || {
+                vec![("temp", name.as_ref().into())]
+            });
         }
+    }
+}
+
+/// Classifies a [`TuModule::from_json`] rejection into the cache
+/// invalidation reasons the flight recorder reports. Anything that is
+/// not one of the three envelope mismatches is a corrupt or truncated
+/// document (including torn writes and dangling-reference records).
+fn invalidation_reason(err: &str) -> &'static str {
+    match err {
+        "format version mismatch" => "version_skew",
+        "configuration fingerprint mismatch" => "config_fingerprint",
+        "source hash mismatch" => "source_hash",
+        _ => "corrupt",
     }
 }
 
@@ -232,7 +248,7 @@ impl ProjectPipeline {
                 format!("cache probe ({} TUs)", inputs.len())
             });
             if let Some(dir) = cache {
-                sweep_dangling_temps(dir);
+                sweep_dangling_temps(dir, telemetry);
             }
             inputs
                 .iter()
@@ -241,7 +257,16 @@ impl ProjectPipeline {
                     let dir = cache?;
                     let doc = match std::fs::read_to_string(cache_path(dir, hash)) {
                         Ok(doc) => doc,
-                        Err(_) => return None,
+                        Err(_) => {
+                            // Cache outcomes differ cold vs warm by
+                            // definition, so every probe event is obs
+                            // class (the det stream must be identical
+                            // across cache states).
+                            telemetry.event(EventClass::Observational, "tu_cache_miss", || {
+                                vec![("file", file.as_str().into()), ("hash", hash_hex(hash).into())]
+                            });
+                            return None;
+                        }
                     };
                     match TuModule::from_json(&doc, &fingerprint, hash) {
                         Ok(mut module) => {
@@ -249,10 +274,28 @@ impl ProjectPipeline {
                             // the same bytes under a new name hit.
                             module.file = file.clone();
                             hits += 1;
+                            telemetry.event(EventClass::Observational, "tu_cache_hit", || {
+                                vec![
+                                    ("file", file.as_str().into()),
+                                    ("hash", hash_hex(hash).into()),
+                                    ("bytes", doc.len().into()),
+                                ]
+                            });
                             Some(module)
                         }
-                        Err(_) => {
+                        Err(err) => {
                             invalidations += 1;
+                            telemetry.event(
+                                EventClass::Observational,
+                                "tu_cache_invalidated",
+                                || {
+                                    vec![
+                                        ("file", file.as_str().into()),
+                                        ("hash", hash_hex(hash).into()),
+                                        ("reason", invalidation_reason(&err).into()),
+                                    ]
+                                },
+                            );
                             None
                         }
                     }
@@ -260,6 +303,21 @@ impl ProjectPipeline {
                 .collect()
         };
         let misses = inputs.len() as u64 - hits;
+        if cache.is_some() {
+            telemetry.event(EventClass::Observational, "cache_probe_done", || {
+                vec![
+                    ("tus", inputs.len().into()),
+                    ("hits", hits.into()),
+                    ("misses", misses.into()),
+                    ("invalidated", invalidations.into()),
+                ]
+            });
+            telemetry.metrics(|m| {
+                m.counter_add("cache/hits", hits);
+                m.counter_add("cache/misses", misses);
+                m.counter_add("cache/invalidations", invalidations);
+            });
+        }
 
         // --- Per-TU front end, sharded across the worker pool. Results
         // land in input order; the first error by input index wins, no
@@ -339,12 +397,32 @@ impl ProjectPipeline {
             for &i in &todo {
                 let doc = modules[i].to_json(&fingerprint);
                 publish_entry(dir, hashes[i], &doc);
+                telemetry.event(EventClass::Observational, "tu_cache_publish", || {
+                    vec![
+                        ("file", inputs[i].0.as_str().into()),
+                        ("hash", hash_hex(hashes[i]).into()),
+                        ("bytes", doc.len().into()),
+                    ]
+                });
             }
         }
 
+        // TU summary sizes, recorded for *every* module (not just the
+        // written-back ones) in input order, so the bucket counts are
+        // identical cold or warm. Rendering to JSON costs a little, but
+        // only runs when metrics collection is on.
+        telemetry.metrics(|m| {
+            for module in &modules {
+                m.hist_record(
+                    "frontend/tu_summary_bytes",
+                    module.to_json(&fingerprint).len() as u64,
+                );
+            }
+        });
+
         // --- Link. ---
         let link_span = telemetry.span(LANE_MAIN, || format!("link ({} TUs)", modules.len()));
-        let linked = link(&modules, &parsed).map_err(ProjectError::Link)?;
+        let linked = link_with(&modules, &parsed, telemetry).map_err(ProjectError::Link)?;
         drop(link_span);
 
         #[cfg(debug_assertions)]
@@ -449,6 +527,7 @@ impl ProjectPipeline {
             }
         }
         telemetry.add_counters(&tail);
+        emit_classification_event(telemetry, &tail);
 
         let mut sources = SourceSet::new();
         for (file, source) in inputs {

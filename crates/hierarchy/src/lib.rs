@@ -42,7 +42,7 @@ pub use bitset::{ClassBitSet, DenseBitSet, FuncBitSet};
 pub use ids::{ClassId, FuncId, MemberRef};
 pub use intern::{Interner, Symbol};
 pub use layout::{ClassLayout, FieldSlot, LayoutEngine};
-pub use link::{link, LinkError, LinkedProgram};
+pub use link::{link, link_with, LinkError, LinkedProgram};
 pub use lookup::{Found, LookupError, MemberLookup};
 pub use model::{
     by_value_class, BaseInfo, ClassInfo, FunctionInfo, GlobalInfo, MemberInfo, Program, SemaError,

@@ -25,6 +25,7 @@ use crate::summary::{FnSummary, ProgramSummary};
 use crate::typewalk::TypeError;
 use ddm_cppfront::ast::{Block, CtorInit, Param, Type};
 use ddm_cppfront::Span;
+use ddm_telemetry::{EventClass, Telemetry};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -150,6 +151,24 @@ fn pair(a: String, b: String) -> (String, String) {
 ///
 /// [`LinkError`] listing every definition conflict.
 pub fn link(modules: &[TuModule], parsed: &[Option<Program>]) -> Result<LinkedProgram, LinkError> {
+    link_with(modules, parsed, &Telemetry::disabled())
+}
+
+/// [`link`] with telemetry: every ODR class merge, every definition
+/// conflict, and the link summary land in the flight recorder.
+///
+/// Link decisions depend only on the module list (input order, built
+/// identically cold or warm, on the coordinating thread), so all link
+/// events are deterministic class.
+///
+/// # Errors
+///
+/// [`LinkError`] listing every definition conflict.
+pub fn link_with(
+    modules: &[TuModule],
+    parsed: &[Option<Program>],
+    telemetry: &Telemetry,
+) -> Result<LinkedProgram, LinkError> {
     assert_eq!(
         modules.len(),
         parsed.len(),
@@ -168,7 +187,15 @@ pub fn link(modules: &[TuModule], parsed: &[Option<Program>]) -> Result<LinkedPr
                     class_order.push((t, c));
                 }
                 Some(&(ft, fc)) => {
-                    if !fc.odr_eq(c) {
+                    if fc.odr_eq(c) {
+                        telemetry.event(EventClass::Deterministic, "odr_class_merge", || {
+                            vec![
+                                ("class", c.name.as_str().into()),
+                                ("kept_tu", modules[ft].file.as_str().into()),
+                                ("dup_tu", m.file.as_str().into()),
+                            ]
+                        });
+                    } else {
                         let (a, b) = pair(
                             loc(&modules[ft], fc.line, fc.col),
                             loc(&modules[t], c.line, c.col),
@@ -309,6 +336,11 @@ pub fn link(modules: &[TuModule], parsed: &[Option<Program>]) -> Result<LinkedPr
     if !conflicts.is_empty() {
         conflicts.sort();
         conflicts.dedup();
+        for line in &conflicts {
+            telemetry.event(EventClass::Deterministic, "link_conflict", || {
+                vec![("detail", line.as_str().into())]
+            });
+        }
         return Err(LinkError { conflicts });
     }
 
@@ -491,6 +523,20 @@ pub fn link(modules: &[TuModule], parsed: &[Option<Program>]) -> Result<LinkedPr
     }
 
     let summary = ProgramSummary::from_parts(&program, function_results, globals_result);
+
+    telemetry.event(EventClass::Deterministic, "link_done", || {
+        vec![
+            ("tus", modules.len().into()),
+            ("classes", program.class_count().into()),
+            ("functions", program.function_count().into()),
+            ("globals", program.globals().len().into()),
+        ]
+    });
+    telemetry.metrics(|m| {
+        m.gauge_set("link/tus", modules.len() as i64);
+        m.gauge_set("link/classes", program.class_count() as i64);
+        m.gauge_set("link/functions", program.function_count() as i64);
+    });
 
     Ok(LinkedProgram {
         program,

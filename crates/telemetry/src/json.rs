@@ -36,6 +36,7 @@ pub fn validate(s: &str) -> Result<(), String> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        lenient: false,
     };
     p.skip_ws();
     p.value()?;
@@ -59,6 +60,11 @@ pub enum Value {
     Bool(bool),
     /// An integer (the only number form the codec reads or writes).
     Int(i64),
+    /// A non-integer number, kept as its source lexeme. Only
+    /// [`parse_lenient`] produces this: the BENCH_*.json reports carry
+    /// speedup ratios and scaling exponents, and preserving the lexeme
+    /// keeps [`Value`] `Eq` and re-rendering byte-faithful.
+    Num(String),
     /// A string (unescaped).
     Str(String),
     /// An array.
@@ -80,6 +86,15 @@ impl Value {
     pub fn as_int(&self) -> Option<i64> {
         match self {
             Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, for `Int` and `Num` alike.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Num(lexeme) => lexeme.parse().ok(),
             _ => None,
         }
     }
@@ -129,6 +144,7 @@ impl Value {
             Value::Null => out.push_str("null"),
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Num(lexeme) => out.push_str(lexeme),
             Value::Str(s) => {
                 out.push('"');
                 out.push_str(&escape(s));
@@ -168,9 +184,29 @@ impl Value {
 /// Returns a message with the byte offset of the first syntax error.
 /// Fractional or exponent numbers are errors (see [`Value`]).
 pub fn parse(s: &str) -> Result<Value, String> {
+    parse_with(s, false)
+}
+
+/// Parses `s` into a [`Value`] tree, accepting non-integer numbers as
+/// lexeme-preserving [`Value::Num`] nodes.
+///
+/// The strict [`parse`] guards the summary cache, where a float marks a
+/// foreign document; the BENCH_*.json reports legitimately carry speedup
+/// ratios and scaling exponents, and `bench_report` reads those with
+/// this variant instead.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn parse_lenient(s: &str) -> Result<Value, String> {
+    parse_with(s, true)
+}
+
+fn parse_with(s: &str, lenient: bool) -> Result<Value, String> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
+        lenient,
     };
     p.skip_ws();
     let v = p.tree_value()?;
@@ -184,6 +220,7 @@ pub fn parse(s: &str) -> Result<Value, String> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    lenient: bool,
 }
 
 impl Parser<'_> {
@@ -494,9 +531,29 @@ impl Parser<'_> {
             return Err(format!("expected a digit at byte {}", self.pos));
         }
         if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
-            return Err(format!(
-                "non-integer number at byte {start} (the cache codec is integer-only)"
-            ));
+            if !self.lenient {
+                return Err(format!(
+                    "non-integer number at byte {start} (the cache codec is integer-only)"
+                ));
+            }
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                if !self.digits()? {
+                    return Err(format!("expected a fraction digit at byte {}", self.pos));
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.pos += 1;
+                }
+                if !self.digits()? {
+                    return Err(format!("expected an exponent digit at byte {}", self.pos));
+                }
+            }
+            let lexeme =
+                std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+            return Ok(Value::Num(lexeme.to_string()));
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
         text.parse::<i64>()
@@ -570,6 +627,27 @@ mod tests {
     fn parse_rejects_floats_and_garbage() {
         for doc in ["1.5", "1e3", "-2.0", "{", "[1,]", "nul", "1 2", "\"\\ud800\""] {
             assert!(parse(doc).is_err(), "should reject {doc:?}");
+        }
+    }
+
+    #[test]
+    fn parse_lenient_preserves_float_lexemes() {
+        let v = parse_lenient("{\"speedup\": 3.10, \"exp\": 1.5e-2, \"n\": 7}").unwrap();
+        assert_eq!(
+            v.get("speedup").unwrap(),
+            &Value::Num("3.10".to_string())
+        );
+        assert_eq!(v.get("speedup").unwrap().as_f64(), Some(3.10));
+        assert_eq!(v.get("exp").unwrap().as_f64(), Some(0.015));
+        assert_eq!(v.get("n").unwrap(), &Value::Int(7));
+        // Re-rendering keeps the original lexeme, trailing zero and all.
+        assert_eq!(v.render(), "{\"speedup\":3.10,\"exp\":1.5e-2,\"n\":7}");
+    }
+
+    #[test]
+    fn parse_lenient_still_rejects_malformed_numbers() {
+        for doc in ["1.", "1e", "1.5.2", "-.5", "01.5x"] {
+            assert!(parse_lenient(doc).is_err(), "should reject {doc:?}");
         }
     }
 

@@ -25,8 +25,14 @@
 //! Perfetto, one lane per worker) and to a human-readable stderr table
 //! ([`Telemetry::render_stats`]).
 
+pub mod events;
 pub mod json;
+pub mod metrics;
 
+pub use events::{Event, EventClass, FieldValue, Fields};
+pub use metrics::{Histogram, Metric, MetricsRegistry};
+
+use events::EventLog;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -239,11 +245,15 @@ struct Collected {
     spans: Vec<SpanRecord>,
     counters: Counters,
     stats: ExecStats,
+    events: EventLog,
+    metrics: MetricsRegistry,
 }
 
 #[derive(Debug)]
 struct Inner {
     epoch: Instant,
+    record_events: bool,
+    record_metrics: bool,
     collected: Mutex<Collected>,
 }
 
@@ -265,10 +275,28 @@ impl Telemetry {
     }
 
     /// A collecting handle; the creation instant is the trace epoch.
+    /// Collects spans, counters, and stats — the flight recorder and the
+    /// metrics registry stay off (see [`Telemetry::configured`]).
     pub fn enabled() -> Telemetry {
+        Telemetry::configured(false, false)
+    }
+
+    /// A collecting handle with the flight recorder and the metrics
+    /// registry both on — everything the telemetry layer can record.
+    pub fn recording() -> Telemetry {
+        Telemetry::configured(true, true)
+    }
+
+    /// A collecting handle with the flight recorder (`events`) and the
+    /// metrics registry (`metrics`) individually selectable. Both are
+    /// opt-in so span-only consumers (`--stats`) never pay for decision
+    /// logging on hot paths.
+    pub fn configured(events: bool, metrics: bool) -> Telemetry {
         Telemetry {
             inner: Some(Inner {
                 epoch: Instant::now(),
+                record_events: events,
+                record_metrics: metrics,
                 collected: Mutex::new(Collected::default()),
             }),
         }
@@ -277,6 +305,82 @@ impl Telemetry {
     /// Whether this handle collects anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether the flight recorder is collecting events.
+    pub fn events_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.record_events)
+    }
+
+    /// Whether the metrics registry is collecting.
+    pub fn metrics_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.record_metrics)
+    }
+
+    /// Records one flight-recorder event. The fields closure is only
+    /// evaluated (and only allocates) when event recording is on, so an
+    /// instrumented hot path costs one branch when the recorder is off.
+    ///
+    /// Deterministic-class events must be emitted from the coordinating
+    /// thread at schedule-invariant points only — the recorder stores
+    /// them in emission order and that order is part of the contract.
+    pub fn event(&self, class: EventClass, name: &'static str, fields: impl FnOnce() -> Fields) {
+        if let Some(inner) = &self.inner {
+            if inner.record_events {
+                let ts_ns = elapsed_ns(inner.epoch);
+                inner
+                    .collected
+                    .lock()
+                    .expect(POISONED)
+                    .events
+                    .push(class, name, ts_ns, fields());
+            }
+        }
+    }
+
+    /// Mutates the metrics registry (no-op unless metrics are on).
+    pub fn metrics(&self, f: impl FnOnce(&mut MetricsRegistry)) {
+        if let Some(inner) = &self.inner {
+            if inner.record_metrics {
+                f(&mut inner.collected.lock().expect(POISONED).metrics);
+            }
+        }
+    }
+
+    /// A snapshot of the metrics registry.
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        match &self.inner {
+            None => MetricsRegistry::default(),
+            Some(inner) => inner.collected.lock().expect(POISONED).metrics.clone(),
+        }
+    }
+
+    /// The metrics registry rendered as its versioned JSON document.
+    pub fn metrics_json(&self) -> String {
+        self.metrics_snapshot().render_json()
+    }
+
+    /// All recorded events: the deterministic stream first, then the
+    /// observational stream.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.collected.lock().expect(POISONED).events.all(),
+        }
+    }
+
+    /// The flight-recorder log rendered as NDJSON (one event per line;
+    /// `filter = None` renders both classes, deterministic first).
+    pub fn events_ndjson(&self, filter: Option<EventClass>) -> String {
+        match &self.inner {
+            None => String::new(),
+            Some(inner) => inner
+                .collected
+                .lock()
+                .expect(POISONED)
+                .events
+                .render_ndjson(filter),
+        }
     }
 
     /// Opens a timed span on `lane`; the span records itself when the
@@ -348,17 +452,33 @@ impl Telemetry {
         lanes
     }
 
-    /// Renders the spans as Chrome trace-event JSON: one complete ("X")
-    /// event per span, one `tid` per lane, plus `thread_name` metadata
-    /// ("main", "worker-1", ...). Loadable in `chrome://tracing` and
-    /// Perfetto.
+    /// Renders the spans as Chrome trace-event JSON: process metadata
+    /// (`process_name` / `process_sort_index`, so the track is labeled
+    /// "ddm" in `about:tracing` and Perfetto), one `thread_name` /
+    /// `thread_sort_index` metadata pair per lane ("main", "worker-1",
+    /// ... in lane order), one complete ("X") event per span, and one
+    /// instant ("i") event per recorded flight-recorder event (cache
+    /// probes, link decisions, round deltas) on the coordinator lane.
     pub fn chrome_trace_json(&self) -> String {
         let mut out = String::from("{\"traceEvents\": [\n");
         let mut first = true;
+        push_event(
+            &mut out,
+            &mut first,
+            "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"args\": {\"name\": \"ddm\"}}",
+        );
+        push_event(
+            &mut out,
+            &mut first,
+            "{\"name\": \"process_sort_index\", \"ph\": \"M\", \"pid\": 1, \"args\": {\"sort_index\": 0}}",
+        );
         for lane in self.lanes() {
             let name = lane_name(lane);
             push_event(&mut out, &mut first, &format!(
                 "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {lane}, \"args\": {{\"name\": \"{name}\"}}}}"
+            ));
+            push_event(&mut out, &mut first, &format!(
+                "{{\"name\": \"thread_sort_index\", \"ph\": \"M\", \"pid\": 1, \"tid\": {lane}, \"args\": {{\"sort_index\": {lane}}}}}"
             ));
         }
         for s in self.spans() {
@@ -370,7 +490,79 @@ impl Telemetry {
                 micros(s.dur_ns),
             ));
         }
+        for e in self.events() {
+            let mut args = String::new();
+            args.push_str(&format!("\"class\": \"{}\"", e.class.tag()));
+            for (key, value) in &e.fields {
+                args.push_str(&format!(", \"{key}\": "));
+                match value {
+                    FieldValue::Int(i) => args.push_str(&i.to_string()),
+                    FieldValue::Str(s) => {
+                        args.push('"');
+                        args.push_str(&json::escape(s));
+                        args.push('"');
+                    }
+                }
+            }
+            push_event(&mut out, &mut first, &format!(
+                "{{\"name\": \"{}\", \"ph\": \"i\", \"pid\": 1, \"tid\": {LANE_MAIN}, \"ts\": {}, \"s\": \"t\", \"args\": {{{args}}}}}",
+                e.name,
+                micros(e.ts_ns),
+            ));
+        }
         out.push_str("\n], \"displayTimeUnit\": \"ms\"}\n");
+        out
+    }
+
+    /// Renders the machine-readable `--stats-json` twin of
+    /// [`Telemetry::render_stats`]: deterministic counters, execution
+    /// stats, and the lane-0 phase spans under a versioned schema.
+    pub fn render_stats_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"ddm-stats/1\",\n");
+        let stats = self.stats();
+        out.push_str(&format!(
+            "  \"engine\": \"{}\",\n",
+            json::escape(&stats.engine)
+        ));
+        out.push_str("  \"counters\": {");
+        let counter_rows = self.counters().rows();
+        for (i, (key, value)) in counter_rows.iter().enumerate() {
+            out.push_str(&format!("\"{key}\": {value}"));
+            if i + 1 < counter_rows.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("},\n");
+        out.push_str("  \"exec_stats\": {");
+        let stat_rows = stats.rows();
+        for (key, value) in stat_rows.iter() {
+            out.push_str(&format!("\"{key}\": {value}, "));
+        }
+        out.push_str(&format!(
+            "\"scan_sequential_fastpath\": {}, \"cg_round_deltas\": [{}]}},\n",
+            stats.scan_sequential_fastpath,
+            stats
+                .cg_round_deltas
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("  \"spans\": [\n");
+        let spans = self.spans();
+        for (i, s) in spans.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"lane\": {}, \"start_us\": {}, \"dur_us\": {}}}",
+                json::escape(&s.name),
+                s.lane,
+                s.start_ns / 1_000,
+                s.dur_ns / 1_000
+            ));
+            out.push_str(if i + 1 < spans.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
         out
     }
 

@@ -5,12 +5,13 @@
 //! parser cannot drift apart.
 
 use dead_data_members::analysis::{
-    eliminate, explain, AnalysisConfig, AnalysisPipeline, Engine, ProjectPipeline, SizeofPolicy,
+    eliminate_with, explain, AnalysisConfig, AnalysisPipeline, Engine, ProjectPipeline,
+    SizeofPolicy,
 };
 use dead_data_members::callgraph::{Algorithm, CallGraph};
 use dead_data_members::dynamic::{profile_trace, Interpreter, RunConfig};
 use dead_data_members::hierarchy::Program;
-use dead_data_members::telemetry::Telemetry;
+use dead_data_members::telemetry::{EventClass, Telemetry};
 use std::process::ExitCode;
 
 /// The flag table: `(flag, value placeholder, help)`. Every flag the
@@ -70,6 +71,26 @@ const FLAGS: &[(&str, &str, &str)] = &[
         "write a Chrome trace-event JSON of the run (one lane per worker)",
     ),
     (
+        "--stats-json",
+        "<stats.json>",
+        "write the machine-readable twin of --stats (schema ddm-stats/1)",
+    ),
+    (
+        "--log-out",
+        "<log.ndjson>",
+        "write the flight-recorder event log as NDJSON (one decision per line)",
+    ),
+    (
+        "--log-filter",
+        "<det|obs|all>",
+        "event classes --log-out writes (default all; det lines are byte-stable)",
+    ),
+    (
+        "--metrics-out",
+        "<metrics.json>",
+        "write the metrics registry (schema ddm-metrics/1, pow2 histogram buckets)",
+    ),
+    (
         "--explain",
         "<Class::member>",
         "print why the member is live/dead/unclassifiable instead of the report",
@@ -115,6 +136,11 @@ struct Options {
     eliminate_to: Option<String>,
     stats: bool,
     trace_out: Option<String>,
+    stats_json: Option<String>,
+    log_out: Option<String>,
+    /// `None` = both classes; `Some(class)` = that class only.
+    log_filter: Option<EventClass>,
+    metrics_out: Option<String>,
     explain_spec: Option<String>,
     cache_dir: Option<String>,
 }
@@ -149,6 +175,10 @@ fn parse_args() -> Result<Options, String> {
         eliminate_to: None,
         stats: false,
         trace_out: None,
+        stats_json: None,
+        log_out: None,
+        log_filter: None,
+        metrics_out: None,
         explain_spec: None,
         cache_dir: None,
     };
@@ -198,6 +228,28 @@ fn parse_args() -> Result<Options, String> {
             "--trace-out" => {
                 opts.trace_out = Some(take_value(&mut args, "--trace-out")?);
             }
+            "--stats-json" => {
+                opts.stats_json = Some(take_value(&mut args, "--stats-json")?);
+            }
+            "--log-out" => {
+                opts.log_out = Some(take_value(&mut args, "--log-out")?);
+            }
+            "--log-filter" => {
+                let v = take_value(&mut args, "--log-filter")?;
+                opts.log_filter = match v.as_str() {
+                    "det" => Some(EventClass::Deterministic),
+                    "obs" => Some(EventClass::Observational),
+                    "all" => None,
+                    other => {
+                        return Err(format!(
+                            "unknown event class `{other}` (valid classes: det, obs, all)"
+                        ))
+                    }
+                };
+            }
+            "--metrics-out" => {
+                opts.metrics_out = Some(take_value(&mut args, "--metrics-out")?);
+            }
             "--explain" => {
                 opts.explain_spec = Some(take_value(&mut args, "--explain")?);
             }
@@ -243,9 +295,19 @@ fn main() -> ExitCode {
     };
 
     // Telemetry is only collected when something will consume it; the
-    // disabled handle adds no allocation to the analysis hot paths.
-    let telemetry = if opts.stats || opts.trace_out.is_some() {
-        Telemetry::enabled()
+    // disabled handle adds no allocation to the analysis hot paths. The
+    // flight recorder and the metrics registry are further gated on
+    // their own consumers (the trace exporter renders recorded events as
+    // instants, so --trace-out also turns the recorder on).
+    let record_events = opts.log_out.is_some() || opts.trace_out.is_some();
+    let record_metrics = opts.metrics_out.is_some();
+    let telemetry = if opts.stats
+        || opts.stats_json.is_some()
+        || opts.trace_out.is_some()
+        || record_events
+        || record_metrics
+    {
+        Telemetry::configured(record_events, record_metrics)
     } else {
         Telemetry::disabled()
     };
@@ -255,8 +317,19 @@ fn main() -> ExitCode {
     if opts.stats {
         eprint!("{}", telemetry.render_stats());
     }
-    if let Some(path) = &opts.trace_out {
-        if let Err(e) = std::fs::write(path, telemetry.chrome_trace_json()) {
+    for (path, contents) in [
+        (opts.trace_out.as_ref(), opts.trace_out.as_ref().map(|_| telemetry.chrome_trace_json())),
+        (opts.stats_json.as_ref(), opts.stats_json.as_ref().map(|_| telemetry.render_stats_json())),
+        (
+            opts.log_out.as_ref(),
+            opts.log_out.as_ref().map(|_| telemetry.events_ndjson(opts.log_filter)),
+        ),
+        (opts.metrics_out.as_ref(), opts.metrics_out.as_ref().map(|_| telemetry.metrics_json())),
+    ] {
+        let (Some(path), Some(contents)) = (path, contents) else {
+            continue;
+        };
+        if let Err(e) = std::fs::write(path, contents) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -474,7 +547,7 @@ fn run(opts: &Options, telemetry: &Telemetry) -> ExitCode {
     }
 
     if let Some(out) = &opts.eliminate_to {
-        let result = eliminate(&pipeline);
+        let result = eliminate_with(&pipeline, telemetry);
         if let Err(e) = std::fs::write(out, &result.source) {
             eprintln!("error: cannot write {out}: {e}");
             return ExitCode::FAILURE;

@@ -112,7 +112,11 @@ fn help_lists_every_flag_from_the_table() {
         "--eliminate",
         "--layout",
         "--stats",
+        "--stats-json",
         "--trace-out",
+        "--log-out",
+        "--log-filter",
+        "--metrics-out",
         "--explain",
         "--cache-dir",
     ] {
@@ -179,6 +183,93 @@ fn trace_out_writes_valid_chrome_json_with_worker_lanes() {
 }
 
 #[test]
+fn log_out_writes_ndjson_and_log_filter_selects_classes() {
+    let src = write_temp("logout", SAMPLE);
+    let out_path = |tag: &str| {
+        std::env::temp_dir().join(format!("ddm_cli_log_{tag}_{}.ndjson", std::process::id()))
+    };
+    let all = out_path("all");
+    let out = ddm()
+        .arg(&src)
+        .arg("--log-out")
+        .arg(&all)
+        .output()
+        .expect("run ddm");
+    assert!(out.status.success(), "{out:?}");
+    let log = std::fs::read_to_string(&all).expect("read log");
+    assert!(log.contains("\"event\":\"classification\""), "{log}");
+    for line in log.lines() {
+        dead_data_members::telemetry::json::validate(line)
+            .unwrap_or_else(|e| panic!("log line is not valid JSON: {e}\n{line}"));
+    }
+    let det = out_path("det");
+    let out = ddm()
+        .arg(&src)
+        .arg("--log-out")
+        .arg(&det)
+        .arg("--log-filter")
+        .arg("det")
+        .output()
+        .expect("run ddm");
+    assert!(out.status.success(), "{out:?}");
+    let filtered = std::fs::read_to_string(&det).expect("read filtered log");
+    assert!(
+        filtered
+            .lines()
+            .filter(|l| !l.contains("\"event\":\"events_dropped\""))
+            .all(|l| l.contains("\"class\":\"det\"")),
+        "--log-filter det leaked observational events:\n{filtered}"
+    );
+    let _ = std::fs::remove_file(&all);
+    let _ = std::fs::remove_file(&det);
+}
+
+#[test]
+fn log_filter_rejects_unknown_event_class_listing_valid_ones() {
+    let src = write_temp("logclass", SAMPLE);
+    let out = ddm()
+        .arg(&src)
+        .arg("--log-filter")
+        .arg("bogus")
+        .output()
+        .expect("run ddm");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown event class `bogus`"), "{stderr}");
+    assert!(stderr.contains("det, obs, all"), "{stderr}");
+}
+
+#[test]
+fn metrics_out_and_stats_json_write_versioned_documents() {
+    let src = write_temp("metrics", SAMPLE);
+    let metrics_path =
+        std::env::temp_dir().join(format!("ddm_cli_metrics_{}.json", std::process::id()));
+    let stats_path =
+        std::env::temp_dir().join(format!("ddm_cli_statsjson_{}.json", std::process::id()));
+    let out = ddm()
+        .arg(&src)
+        .arg("--metrics-out")
+        .arg(&metrics_path)
+        .arg("--stats-json")
+        .arg(&stats_path)
+        .output()
+        .expect("run ddm");
+    assert!(out.status.success(), "{out:?}");
+    let metrics = std::fs::read_to_string(&metrics_path).expect("read metrics");
+    dead_data_members::telemetry::json::validate(&metrics)
+        .unwrap_or_else(|e| panic!("metrics are not valid JSON: {e}"));
+    assert!(metrics.contains("ddm-metrics/1"), "{metrics}");
+    assert!(metrics.contains("callgraph/round_delta_fns"), "{metrics}");
+    let stats = std::fs::read_to_string(&stats_path).expect("read stats");
+    dead_data_members::telemetry::json::validate(&stats)
+        .unwrap_or_else(|e| panic!("stats are not valid JSON: {e}"));
+    assert!(stats.contains("ddm-stats/1"), "{stats}");
+    assert!(stats.contains("\"counters\""), "{stats}");
+    let _ = std::fs::remove_file(&metrics_path);
+    let _ = std::fs::remove_file(&stats_path);
+}
+
+#[test]
 fn explain_live_member_prints_witness_chain() {
     let src = write_temp("explain_live", SAMPLE);
     let out = ddm()
@@ -237,6 +328,10 @@ fn value_flags_reject_a_following_flag_as_their_value() {
         "--engine",
         "--jobs",
         "--cache-dir",
+        "--stats-json",
+        "--log-out",
+        "--log-filter",
+        "--metrics-out",
     ] {
         let out = ddm()
             .arg(&src)

@@ -81,6 +81,9 @@ cargo test --release --test worklist_equivalence worklist_telemetry_is_identical
 echo "== project cache: equivalence and invalidation =="
 cargo test --release --test project_cache
 
+echo "== incremental retraction: removed edits flip members dead =="
+cargo test --release --test incremental_retraction
+
 echo "== project cache: cold-vs-warm CLI smoke (byte-identical, zero warm work) =="
 rm -rf /tmp/ddm_ci_cache
 cargo run --release --bin ddm -- crates/benchmarks/programs/multi/*.cpp \
@@ -101,6 +104,32 @@ test "$(grep -c '"event":"tu_cache_hit"' /tmp/ddm_ci_warm.ndjson)" = 3
 ! grep -q '"event":"tu_cache_invalidated"' /tmp/ddm_ci_warm.ndjson
 rm -rf /tmp/ddm_ci_cache /tmp/ddm_ci_cold.out /tmp/ddm_ci_cold.err \
     /tmp/ddm_ci_warm.out /tmp/ddm_ci_warm.err /tmp/ddm_ci_warm.ndjson
+
+echo "== incremental 1-changed CLI smoke (snapshot warm start, bounded frontier) =="
+# Warm a cache, append an unreachable function to one TU, and re-run:
+# the report must stay byte-identical, the analysis snapshot must load,
+# and the fixpoint invalidation frontier must stay strictly below the
+# program's function count (only the changed TU's functions re-enter).
+rm -rf /tmp/ddm_ci_incr /tmp/ddm_ci_incr_src
+mkdir -p /tmp/ddm_ci_incr_src
+cp crates/benchmarks/programs/multi/*.cpp /tmp/ddm_ci_incr_src/
+cargo run --release --bin ddm -- /tmp/ddm_ci_incr_src/*.cpp \
+    --engine summary --cache-dir /tmp/ddm_ci_incr \
+    > /tmp/ddm_ci_incr_cold.out
+first_tu=$(ls /tmp/ddm_ci_incr_src/*.cpp | head -1)
+printf 'int ci_incremental_pad() { return 42; }\n' >> "$first_tu"
+cargo run --release --bin ddm -- /tmp/ddm_ci_incr_src/*.cpp \
+    --engine summary --cache-dir /tmp/ddm_ci_incr \
+    --log-out /tmp/ddm_ci_incr.ndjson \
+    > /tmp/ddm_ci_incr_warm.out
+cmp /tmp/ddm_ci_incr_cold.out /tmp/ddm_ci_incr_warm.out
+grep -q '"event":"snapshot_loaded"' /tmp/ddm_ci_incr.ndjson
+inv=$(grep '"event":"fixpoint_invalidate"' /tmp/ddm_ci_incr.ndjson)
+frontier=$(printf '%s' "$inv" | sed -n 's/.*"frontier_fns":\([0-9]*\).*/\1/p')
+total=$(printf '%s' "$inv" | sed -n 's/.*"total_fns":\([0-9]*\).*/\1/p')
+test -n "$frontier" && test -n "$total" && test "$frontier" -lt "$total"
+rm -rf /tmp/ddm_ci_incr /tmp/ddm_ci_incr_src /tmp/ddm_ci_incr_cold.out \
+    /tmp/ddm_ci_incr_warm.out /tmp/ddm_ci_incr.ndjson
 
 echo "== differential fuzz: capped sweep + shrinker =="
 cargo test --release --test differential_fuzz

@@ -3,26 +3,30 @@
 //! front end has no preprocessor) and contributes its own free
 //! functions, called from the driver TU through cross-TU prototypes.
 //!
-//! For each project size the driver times three scenarios against the
-//! persistent summary cache:
+//! For each project size the driver times the scenarios against the
+//! persistent summary cache and analysis snapshot:
 //!
 //! * **cold** — empty cache: every TU is parsed, summarized, and written
 //!   back;
 //! * **warm** — populated cache: zero TUs are parsed or summarized
-//!   (asserted in-binary), only the link + fixpoint phases run;
-//! * **1-of-N changed** — one TU's content is modified before each
-//!   sample, so exactly one TU misses and is recomputed while the other
-//!   N−1 hit.
+//!   (asserted in-binary), and the snapshot replays the fixpoint;
+//! * **k-of-N changed** for k ∈ {1, N/4, N} — k TUs' contents are
+//!   modified before each sample, so exactly k TUs miss and are
+//!   recomputed while the other N−k hit; k = 1 is the headline
+//!   incremental number, k = N the change-everything floor.
 //!
 //! Warm runs must also produce the byte-identical report to a cold run —
-//! the cache may only change wall-clock, never output.
+//! the cache may only change wall-clock, never output. A per-phase
+//! breakdown (front end / link / call graph / liveness) of a warm
+//! 1-changed run is captured from the pipeline's phase timers.
 //!
 //! ```text
 //! bench_incremental [--json] [--samples N] [--smoke]
 //! ```
 //!
-//! `--json` writes `BENCH_incremental.json`. `--smoke` runs only the
-//! smallest size with one sample and fails if it exceeds a wall-clock
+//! `--json` writes `BENCH_incremental.json`. `--smoke` measures every
+//! size with one sample, asserts the 1-changed speedup grows monotonely
+//! with project size, and fails if the sweep exceeds a wall-clock
 //! ceiling — the CI gate.
 
 use ddm_bench::{host_meta_json, timing};
@@ -46,6 +50,15 @@ struct ProjectConfig {
     fns_per_tu: usize,
 }
 
+/// One warm 1-changed run's per-phase wall-clock, from the pipeline's
+/// phase timers.
+struct PhaseBreakdown {
+    frontend_ns: u64,
+    link_ns: u64,
+    callgraph_ns: u64,
+    liveness_ns: u64,
+}
+
 struct SizeResult {
     name: &'static str,
     config: ProjectConfig,
@@ -53,36 +66,51 @@ struct SizeResult {
     cold: Duration,
     warm: Duration,
     one_changed: Duration,
+    /// `(k, wall-clock)` for the k-of-N changed axis, ascending in k.
+    k_changed: Vec<(usize, Duration)>,
+    phases: PhaseBreakdown,
 }
 
-fn sizes(smoke: bool) -> Vec<(&'static str, ProjectConfig)> {
-    let mut v = vec![(
-        "small",
-        ProjectConfig {
-            tus: 8,
-            classes: 4,
-            fns_per_tu: 6,
-        },
-    )];
-    if !smoke {
-        v.push((
+impl SizeResult {
+    fn one_changed_speedup(&self) -> f64 {
+        self.cold.as_secs_f64() / self.one_changed.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+/// The change-set sizes measured per project: 1, N/4, and N.
+fn k_axis(tus: usize) -> Vec<usize> {
+    let mut ks = vec![1, (tus / 4).max(1), tus];
+    ks.dedup();
+    ks
+}
+
+fn sizes() -> Vec<(&'static str, ProjectConfig)> {
+    vec![
+        (
+            "small",
+            ProjectConfig {
+                tus: 8,
+                classes: 4,
+                fns_per_tu: 6,
+            },
+        ),
+        (
             "medium",
             ProjectConfig {
                 tus: 24,
                 classes: 6,
                 fns_per_tu: 10,
             },
-        ));
-        v.push((
+        ),
+        (
             "large",
             ProjectConfig {
                 tus: 64,
                 classes: 8,
                 fns_per_tu: 12,
             },
-        ));
-    }
-    v
+        ),
+    ]
 }
 
 /// The shared header: a single-inheritance chain where every class adds
@@ -201,21 +229,81 @@ fn measure(name: &'static str, config: ProjectConfig, samples: usize) -> SizeRes
     // Warm: the cache is fully populated by the last cold sample.
     let (warm, _) = timing::time(samples, || run(&inputs, &cache, &Telemetry::disabled()));
 
-    // 1-of-N changed: give TU 1 per-sample-unique content so exactly one
-    // TU misses in every sample (an unreachable padding function keeps
+    // k-of-N changed: give k TUs per-sample-unique content so exactly k
+    // TUs miss in every sample (an unreachable padding function keeps
     // the analysed behaviour identical while changing the content hash).
+    // For k < N the driver TU is left alone; k = N edits every TU.
     let mut edition = 0usize;
-    let mut edited = inputs.clone();
-    let (one_changed, _) = timing::time(samples, || {
+    let edit_k = |edition: usize, k: usize| -> Vec<(String, String)> {
+        let mut edited = inputs.clone();
+        let targets: Vec<usize> = if k < inputs.len() {
+            (1..=k).collect()
+        } else {
+            (0..inputs.len()).collect()
+        };
+        for &i in &targets {
+            edited[i].1 = format!(
+                "{}int pad_t{i}_e{edition}() {{ return {edition}; }}\n",
+                inputs[i].1
+            );
+        }
+        edited
+    };
+    let mut k_changed = Vec::new();
+    for k in k_axis(inputs.len()) {
+        // Correctness outside the timed region: an instrumented run per
+        // k proves exactly k TUs miss and N-k hit against this cache.
         edition += 1;
-        edited[1].1 = format!("{}int pad{edition}() {{ return {edition}; }}\n", inputs[1].1);
         let tel = Telemetry::enabled();
-        let p = run(&edited, &cache, &tel);
+        run(&edit_k(edition, k), &cache, &tel);
         let stats = tel.stats();
-        assert_eq!(stats.tu_cache_misses, 1, "{name}: expected exactly one miss");
-        assert_eq!(stats.tu_cache_hits, inputs.len() as u64 - 1);
-        p
-    });
+        assert_eq!(
+            stats.tu_cache_misses, k as u64,
+            "{name}: expected exactly {k} misses"
+        );
+        assert_eq!(stats.tu_cache_hits, (inputs.len() - k) as u64);
+
+        // Pre-render one edited input set per invocation (timing::time
+        // adds two warm-ups) so the timed region holds the analysis
+        // alone, under the same disabled telemetry as cold and warm.
+        let editions: Vec<Vec<(String, String)>> = (0..samples.max(1) + 2)
+            .map(|_| {
+                edition += 1;
+                edit_k(edition, k)
+            })
+            .collect();
+        let next = std::cell::Cell::new(0usize);
+        let (elapsed, _) = timing::time(samples, || {
+            let i = next.get();
+            next.set(i + 1);
+            run(&editions[i], &cache, &Telemetry::disabled())
+        });
+        k_changed.push((k, elapsed));
+    }
+    let one_changed = k_changed
+        .iter()
+        .find(|&&(k, _)| k == 1)
+        .map(|&(_, d)| d)
+        .expect("k axis always contains 1");
+
+    // Per-phase breakdown of one more (untimed) warm 1-changed run.
+    // The k = N pass above left every TU edited, so first re-establish
+    // a fully warm snapshot; otherwise the measured run would take the
+    // N-changed path and the breakdown would not describe 1-changed.
+    let phases = {
+        edition += 1;
+        run(&edit_k(edition, 1), &cache, &Telemetry::disabled());
+        edition += 1;
+        let tel = Telemetry::enabled();
+        run(&edit_k(edition, 1), &cache, &tel);
+        let stats = tel.stats();
+        PhaseBreakdown {
+            frontend_ns: stats.frontend_ns,
+            link_ns: stats.link_ns,
+            callgraph_ns: stats.callgraph_ns,
+            liveness_ns: stats.liveness_ns,
+        }
+    };
 
     let _ = std::fs::remove_dir_all(&cache);
     SizeResult {
@@ -225,6 +313,8 @@ fn measure(name: &'static str, config: ProjectConfig, samples: usize) -> SizeRes
         cold,
         warm,
         one_changed,
+        k_changed,
+        phases,
     }
 }
 
@@ -243,7 +333,8 @@ fn render_json(results: &[SizeResult], samples: usize) -> String {
             out,
             "    {{\"name\": \"{}\", \"tus\": {}, \"classes\": {}, \"fns_per_tu\": {}, \"functions\": {},\n     \
              \"cold_ns\": {}, \"warm_ns\": {}, \"one_changed_ns\": {},\n     \
-             \"warm_speedup\": {:.2}, \"one_changed_speedup\": {:.2}}}",
+             \"warm_speedup\": {:.2}, \"one_changed_speedup\": {:.2},\n     \
+             \"k_changed\": [",
             r.name,
             c.tus,
             c.classes,
@@ -253,7 +344,23 @@ fn render_json(results: &[SizeResult], samples: usize) -> String {
             r.warm.as_nanos(),
             r.one_changed.as_nanos(),
             r.cold.as_secs_f64() / r.warm.as_secs_f64().max(f64::EPSILON),
-            r.cold.as_secs_f64() / r.one_changed.as_secs_f64().max(f64::EPSILON),
+            r.one_changed_speedup(),
+        );
+        for (j, (k, d)) in r.k_changed.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"k\": {}, \"ns\": {}, \"speedup\": {:.2}}}",
+                if j == 0 { "" } else { ", " },
+                k,
+                d.as_nanos(),
+                r.cold.as_secs_f64() / d.as_secs_f64().max(f64::EPSILON),
+            );
+        }
+        let _ = write!(
+            out,
+            "],\n     \
+             \"one_changed_phases\": {{\"frontend_ns\": {}, \"link_ns\": {}, \"callgraph_ns\": {}, \"liveness_ns\": {}}}}}",
+            r.phases.frontend_ns, r.phases.link_ns, r.phases.callgraph_ns, r.phases.liveness_ns,
         );
         out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }
@@ -275,7 +382,7 @@ fn main() {
         .unwrap_or(if smoke { 1 } else { 5 });
 
     let started = Instant::now();
-    let results: Vec<SizeResult> = sizes(smoke)
+    let results: Vec<SizeResult> = sizes()
         .into_iter()
         .map(|(name, config)| measure(name, config, samples))
         .collect();
@@ -299,8 +406,8 @@ fn main() {
     }
 
     if json {
-        // The smoke run measures one size only — keep it away from the
-        // committed full-sweep BENCH_incremental.json.
+        // The smoke run uses one low-confidence sample — keep it away
+        // from the committed full-sweep BENCH_incremental.json.
         let path = if smoke {
             "BENCH_incremental_smoke.json"
         } else {
@@ -311,6 +418,19 @@ fn main() {
     }
 
     if smoke {
+        // The snapshot's fixed costs amortize with project size, so the
+        // 1-changed speedup must grow monotonely small → large.
+        for pair in results.windows(2) {
+            let (prev, next) = (&pair[0], &pair[1]);
+            assert!(
+                next.one_changed_speedup() > prev.one_changed_speedup(),
+                "1-changed speedup must grow with project size: {} {:.2}x vs {} {:.2}x",
+                prev.name,
+                prev.one_changed_speedup(),
+                next.name,
+                next.one_changed_speedup(),
+            );
+        }
         let elapsed = started.elapsed();
         assert!(
             elapsed < SMOKE_CEILING,

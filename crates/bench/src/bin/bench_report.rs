@@ -246,9 +246,27 @@ fn normalize(file: &FamilyFile) -> Vec<(String, Value)> {
                 let Some(name) = size.get("name").and_then(Value::as_str) else {
                     continue;
                 };
-                for key in ["cold_ns", "warm_ns", "one_changed_ns"] {
+                for key in [
+                    "cold_ns",
+                    "warm_ns",
+                    "one_changed_ns",
+                    "warm_speedup",
+                    "one_changed_speedup",
+                ] {
                     if let Some(v) = size.get(key) {
                         metrics.push((format!("{name}_{key}"), v.clone()));
+                    }
+                }
+                for entry in size.get("k_changed").and_then(Value::as_arr).unwrap_or(&[]) {
+                    if let (Some(k), Some(ns)) =
+                        (entry.get("k").and_then(Value::as_f64), entry.get("ns"))
+                    {
+                        metrics.push((format!("{name}_k{}_changed_ns", k as u64), ns.clone()));
+                    }
+                }
+                if let Some(phases) = size.get("one_changed_phases").and_then(Value::as_obj) {
+                    for (key, v) in phases {
+                        metrics.push((format!("{name}_one_changed_{key}"), v.clone()));
                     }
                 }
             }

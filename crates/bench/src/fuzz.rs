@@ -10,6 +10,9 @@
 //! * engines `{walk, summary}` × jobs `{1, 8}`, cacheless;
 //! * the summary engine against a persistent cache: cold, warm, and
 //!   1-changed (one TU's content perturbed), each at jobs `{1, 8}`;
+//! * a multi-step edit script: three further random single-TU edits
+//!   replayed against one warm cache directory, each step compared to
+//!   a cacheless run over the same inputs;
 //!
 //! byte-comparing the rendered report, the `--explain` text of every
 //! member, and the deterministic counters. A program the pipeline
@@ -228,7 +231,9 @@ fn cli_for(
 /// walk/jobs=1 baseline; with `full`, also exercises the persistent
 /// cache (cold, warm, and 1-changed at jobs 1 and 8, where the
 /// 1-changed cells are compared against a cacheless baseline over the
-/// same edited inputs). Returns the first divergence found.
+/// same edited inputs), then replays a three-step random single-TU
+/// edit script against the jobs=1 directory, comparing every step to
+/// its own cacheless baseline. Returns the first divergence found.
 ///
 /// Scratch cache directories are created under `scratch_root` and
 /// removed before returning.
@@ -290,11 +295,11 @@ pub fn check_inputs(
     // 1-changed: perturb the last TU with an unreachable function, then
     // the cached run over the now-stale directory must match a
     // cacheless run over the same edited inputs.
+    let mut edited = inputs.to_vec();
+    if let Some(last) = edited.last_mut() {
+        last.1.push_str("int fuzz_pad_edit() { return 1; }\n");
+    }
     if found.is_none() {
-        let mut edited = inputs.to_vec();
-        if let Some(last) = edited.last_mut() {
-            last.1.push_str("int fuzz_pad_edit() { return 1; }\n");
-        }
         let edited_baseline = CellOutcome {
             label: "summary jobs=1 (edited, cacheless)".to_string(),
             cli: cli_for(algorithm, Engine::Summary, 1, None),
@@ -311,6 +316,50 @@ pub fn check_inputs(
                     baseline: edited_baseline.clone(),
                     other: cell,
                     inputs: edited.clone(),
+                }));
+                break;
+            }
+        }
+    }
+
+    // Multi-step edit script: three further random single-TU edits
+    // replayed in sequence against the jobs=1 cache directory (already
+    // warm and one edit deep at this point). Every step must be
+    // byte-identical to a cacheless run over the same inputs — no state
+    // from any earlier edition (summary entries, analysis snapshot) may
+    // leak into a later one.
+    if found.is_none() {
+        let mut rng = Rng::seed_from_u64(
+            edited
+                .iter()
+                .flat_map(|(_, s)| s.as_bytes())
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+                    (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+                }),
+        );
+        let dir = &dirs[0];
+        let mut current = edited.clone();
+        for step in 1..=3usize {
+            let t = rng.gen_range(0..current.len());
+            let _ = writeln!(
+                current[t].1,
+                "int fuzz_step{step}_edit() {{ return {step}; }}"
+            );
+            let step_baseline = CellOutcome {
+                label: format!("summary jobs=1 (edit step {step}, cacheless)"),
+                cli: cli_for(algorithm, Engine::Summary, 1, None),
+                artifact: oracle_artifact(&current, algorithm, Engine::Summary, 1, None),
+            };
+            let cell = CellOutcome {
+                label: format!("summary jobs=1 cache=edit-step-{step}"),
+                cli: cli_for(algorithm, Engine::Summary, 1, Some("edit script")),
+                artifact: oracle_artifact(&current, algorithm, Engine::Summary, 1, Some(dir)),
+            };
+            if cell.artifact != step_baseline.artifact {
+                found = Some(Box::new(Divergence {
+                    baseline: step_baseline,
+                    other: cell,
+                    inputs: current.clone(),
                 }));
                 break;
             }

@@ -99,6 +99,65 @@ pub struct CallGraphOptions {
     pub jobs: usize,
 }
 
+/// One fixpoint round's schedule record: the delta batch size and the
+/// pop/drain activity it generated. What [`run_fixpoint`] emits as the
+/// deterministic `cg_round` event, captured so a snapshot warm start
+/// can replay the identical event stream without re-running the round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CgRound {
+    /// Functions in the round's delta batch.
+    pub delta_fns: u64,
+    /// Worklist pops during the round.
+    pub pops: u64,
+    /// Ready-row drains during the round.
+    pub drains: u64,
+}
+
+/// The complete, deterministic schedule of one converged fixpoint run:
+/// everything [`CallGraph::build_from_summary_with`] feeds into
+/// telemetry beyond the graph itself. Persisting this next to the graph
+/// is what makes a snapshot warm start *observationally* identical to a
+/// cold run — same `cg_round`/`cg_fixpoint` events, same counters, same
+/// metrics — without touching the worklist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CgSchedule {
+    /// Per-round records, in round order.
+    pub rounds: Vec<CgRound>,
+    /// Total worklist pops.
+    pub pops: u64,
+    /// Total ready-row drains.
+    pub drains: u64,
+    /// Total dispatch candidates parked.
+    pub parked: u64,
+    /// Distribution of unrefined virtual-site candidate-set sizes.
+    pub dispatch_candidates: Histogram,
+    /// Summary replays (globals + one per first processing).
+    pub replays: u64,
+    /// Interner size of the linked program at build time.
+    pub interned_symbols: u64,
+    /// Interner arena bytes at build time.
+    pub arena_bytes: u64,
+}
+
+/// The dense storage of a [`CallGraph`], exposed for snapshot
+/// serialization. Produced by [`CallGraph::to_parts`], consumed by
+/// [`CallGraph::from_parts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallGraphParts {
+    /// The algorithm that produced the graph.
+    pub algorithm: Algorithm,
+    /// Reachable functions, ascending.
+    pub reachable: Vec<FuncId>,
+    /// Instantiated classes, ascending.
+    pub instantiated: Vec<ClassId>,
+    /// Address-taken functions, ascending.
+    pub address_taken: Vec<FuncId>,
+    /// CSR row starts (one per function the graph was built over, +1).
+    pub edge_offsets: Vec<u32>,
+    /// CSR edge targets.
+    pub edge_targets: Vec<FuncId>,
+}
+
 /// The computed call graph, frozen into dense index-keyed storage:
 /// sorted id vectors for the reachable/instantiated/address-taken sets
 /// (with bitsets retained for O(1) membership) and a CSR adjacency for
@@ -361,8 +420,26 @@ impl CallGraph {
         options: &CallGraphOptions,
         telemetry: &Telemetry,
     ) -> Result<CallGraph, TypeError> {
+        Self::build_from_summary_schedule(program, summary, options, telemetry).map(|(g, _)| g)
+    }
+
+    /// [`CallGraph::build_from_summary_with`], also returning the
+    /// converged [`CgSchedule`] so the caller can persist it (the
+    /// telemetry handle may be disabled — the schedule is captured
+    /// either way).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the [`TypeError`]s recorded in the summaries of reachable
+    /// functions, in the same order the walking builder would hit them.
+    pub fn build_from_summary_schedule(
+        program: &Program,
+        summary: &ProgramSummary,
+        options: &CallGraphOptions,
+        telemetry: &Telemetry,
+    ) -> Result<(CallGraph, CgSchedule), TypeError> {
         if options.algorithm == Algorithm::Everything {
-            return Ok(Self::build_everything(program));
+            return Ok((Self::build_everything(program), CgSchedule::default()));
         }
         let roots = propagation_roots(program, options);
         let mut state = PropState::new(program, options.algorithm == Algorithm::Cha, roots);
@@ -395,7 +472,114 @@ impl CallGraph {
         })?;
 
         state.flush_telemetry(telemetry, rounds, Some(replays));
-        Ok(state.freeze(options.algorithm))
+        let schedule = state.schedule(replays);
+        Ok((state.freeze(options.algorithm), schedule))
+    }
+
+    /// Decomposes the graph into its dense storage for serialization.
+    pub fn to_parts(&self) -> CallGraphParts {
+        CallGraphParts {
+            algorithm: self.algorithm,
+            reachable: self.reachable.clone(),
+            instantiated: self.instantiated.clone(),
+            address_taken: self.address_taken.clone(),
+            edge_offsets: self.edge_offsets.clone(),
+            edge_targets: self.edge_targets.clone(),
+        }
+    }
+
+    /// Rebuilds a graph from [`CallGraph::to_parts`] output against a
+    /// program with `function_count` functions and `class_count`
+    /// classes.
+    ///
+    /// The program may have *more* functions than the graph was built
+    /// over (an edit appended new, unreached functions whose ids sort
+    /// after every stored one); the CSR is extended with empty rows so
+    /// the rebuilt graph equals what a fresh build over the grown
+    /// program produces. It may never have fewer.
+    ///
+    /// # Errors
+    ///
+    /// Any structural violation — unsorted or out-of-range ids,
+    /// non-monotone CSR offsets, an offset table longer than the
+    /// program — so a corrupt snapshot is rejected rather than
+    /// propagated into the analysis.
+    pub fn from_parts(
+        parts: CallGraphParts,
+        function_count: usize,
+        class_count: usize,
+    ) -> Result<CallGraph, String> {
+        let CallGraphParts {
+            algorithm,
+            reachable,
+            instantiated,
+            address_taken,
+            mut edge_offsets,
+            edge_targets,
+        } = parts;
+        fn check_ids(what: &str, ids: &[usize], bound: usize) -> Result<(), String> {
+            if !ids.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("{what} ids are not strictly ascending"));
+            }
+            if ids.last().is_some_and(|&x| x >= bound) {
+                return Err(format!("{what} id out of range"));
+            }
+            Ok(())
+        }
+        check_ids(
+            "reachable",
+            &reachable.iter().map(|f| f.index()).collect::<Vec<_>>(),
+            function_count,
+        )?;
+        check_ids(
+            "instantiated",
+            &instantiated.iter().map(|c| c.index()).collect::<Vec<_>>(),
+            class_count,
+        )?;
+        check_ids(
+            "address_taken",
+            &address_taken.iter().map(|f| f.index()).collect::<Vec<_>>(),
+            function_count,
+        )?;
+        if edge_offsets.is_empty()
+            || edge_offsets[0] != 0
+            || edge_offsets.len() > function_count + 1
+        {
+            return Err("CSR offset table malformed".to_string());
+        }
+        if !edge_offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("CSR offsets are not monotone".to_string());
+        }
+        let last = *edge_offsets.last().expect("non-empty");
+        if last as usize != edge_targets.len() {
+            return Err("CSR offsets disagree with edge targets".to_string());
+        }
+        if edge_targets
+            .iter()
+            .any(|t| t.index() >= function_count)
+        {
+            return Err("CSR edge target out of range".to_string());
+        }
+        // Appended functions have no edges: pad with empty rows.
+        edge_offsets.resize(function_count + 1, last);
+        let mut reachable_set = FuncBitSet::with_capacity(function_count);
+        for &f in &reachable {
+            reachable_set.insert(f);
+        }
+        let mut instantiated_set = ClassBitSet::with_capacity(class_count);
+        for &c in &instantiated {
+            instantiated_set.insert(c);
+        }
+        Ok(CallGraph {
+            algorithm,
+            reachable,
+            reachable_set,
+            instantiated,
+            instantiated_set,
+            edge_offsets,
+            edge_targets,
+            address_taken,
+        })
     }
 
     /// The algorithm that produced this graph.
@@ -528,6 +712,9 @@ struct PropState<'p> {
     pops: u64,
     drains: u64,
     parked: u64,
+    /// Per-round `(delta_fns, pops, drains)` schedule log, recorded by
+    /// [`run_fixpoint`] for [`PropState::schedule`].
+    rounds_log: Vec<CgRound>,
     /// Distribution of unrefined virtual-site candidate-set sizes. A
     /// fixed inline array (no allocation, no branch on telemetry state):
     /// recording is one array increment, and the buckets only reach the
@@ -565,6 +752,7 @@ impl<'p> PropState<'p> {
             pops: 0,
             drains: 0,
             parked: 0,
+            rounds_log: Vec::new(),
             dispatch_candidates: Histogram::default(),
         };
         for f in roots {
@@ -805,6 +993,20 @@ impl<'p> PropState<'p> {
         self.drain_scratch = widened;
     }
 
+    /// Captures the converged run's schedule for persistence.
+    fn schedule(&self, replays: u64) -> CgSchedule {
+        CgSchedule {
+            rounds: self.rounds_log.clone(),
+            pops: self.pops,
+            drains: self.drains,
+            parked: self.parked,
+            dispatch_candidates: self.dispatch_candidates.clone(),
+            replays,
+            interned_symbols: self.program.interner().len() as u64,
+            arena_bytes: self.program.interner().arena_bytes() as u64,
+        }
+    }
+
     fn flush_telemetry(&self, telemetry: &Telemetry, rounds: u64, replays: Option<u64>) {
         telemetry.update_stats(|s| {
             s.callgraph_rounds = rounds;
@@ -930,6 +1132,11 @@ fn run_fixpoint<'p, E>(
                 ("drains", (state.drains - drains_before).into()),
             ]
         });
+        state.rounds_log.push(CgRound {
+            delta_fns,
+            pops: state.pops - pops_before,
+            drains: state.drains - drains_before,
+        });
         drop(round_span);
         rounds += 1;
     }
@@ -1005,6 +1212,56 @@ fn replay_summary(st: &mut PropState<'_>, caller: Option<FuncId>, summary: &FnSu
             ),
         }
     }
+}
+
+/// Re-emits a persisted converged run's telemetry — the deterministic
+/// `cg_round` / `cg_fixpoint` events, the counters, the metrics, and
+/// the execution stats — exactly as [`CallGraph::build_from_summary_with`]
+/// would have while computing `graph` under `schedule`. A snapshot warm
+/// start that reuses a stored graph calls this instead of re-running
+/// the fixpoint, keeping the deterministic event stream byte-identical
+/// to a cold run.
+pub fn replay_schedule(graph: &CallGraph, schedule: &CgSchedule, telemetry: &Telemetry) {
+    for (round, r) in schedule.rounds.iter().enumerate() {
+        telemetry.update_stats(|s| s.cg_round_deltas.push(r.delta_fns));
+        telemetry.metrics(|m| m.hist_record("callgraph/round_delta_fns", r.delta_fns));
+        telemetry.event(EventClass::Deterministic, "cg_round", || {
+            vec![
+                ("round", (round as u64).into()),
+                ("delta_fns", r.delta_fns.into()),
+                ("pops", r.pops.into()),
+                ("drains", r.drains.into()),
+            ]
+        });
+    }
+    telemetry.update_stats(|s| {
+        s.callgraph_rounds = schedule.rounds.len() as u64;
+        s.worklist_pushes += schedule.parked;
+        s.cg_interned_symbols = schedule.interned_symbols;
+        s.cg_arena_bytes = schedule.arena_bytes;
+        s.summary_replays += schedule.replays;
+    });
+    telemetry.add_counters(&Counters {
+        cg_worklist_pops: schedule.pops,
+        cg_ready_drains: schedule.drains,
+        ..Counters::default()
+    });
+    telemetry.event(EventClass::Deterministic, "cg_fixpoint", || {
+        vec![
+            ("rounds", (schedule.rounds.len() as u64).into()),
+            ("pops", schedule.pops.into()),
+            ("drains", schedule.drains.into()),
+            ("parked", schedule.parked.into()),
+            ("reachable", graph.reachable_count().into()),
+            ("instantiated", graph.instantiated.len().into()),
+            ("edges", graph.edge_count().into()),
+        ]
+    });
+    telemetry.metrics(|m| {
+        m.counter_add("callgraph/worklist_pops", schedule.pops);
+        m.counter_add("callgraph/ready_drains", schedule.drains);
+        m.hist_merge("callgraph/dispatch_candidates", &schedule.dispatch_candidates);
+    });
 }
 
 /// The walking builder's event adapter: resolves each walk event to the
@@ -1538,6 +1795,121 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parts_roundtrip_reproduces_the_graph() {
+        let src = "
+            class A { public: virtual int f() { return 0; } virtual ~A() { } };
+            class B : public A { public: virtual int f() { return make(); } ~B() { } };
+            class C : public A { public: virtual int f() { return 2; } };
+            int ind() { return 7; }
+            int make() { B* b = new B(); A* a = b; int r = a->f(); delete b; return r; }
+            int main() { A a; int (*fp)() = ind; return a.f() + fp() + make(); }";
+        let tu = parse(src).expect("parse");
+        let p = Program::build(&tu).expect("sema");
+        let lk = MemberLookup::new(&p);
+        for algorithm in [Algorithm::Cha, Algorithm::Rta, Algorithm::Pta] {
+            let options = CallGraphOptions {
+                algorithm,
+                ..Default::default()
+            };
+            let g = CallGraph::build(&p, &lk, &options).expect("build");
+            let back =
+                CallGraph::from_parts(g.to_parts(), p.function_count(), p.class_count())
+                    .expect("from_parts");
+            assert_eq!(g, back, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn from_parts_pads_csr_for_appended_functions() {
+        // The stored graph was built over a program with one fewer
+        // function (ids beyond the stored count are unreached tail ids).
+        let (p, g) = graph(
+            "int f() { return 1; } int main() { return f(); }",
+            Algorithm::Rta,
+        );
+        let grown = CallGraph::from_parts(g.to_parts(), p.function_count() + 1, p.class_count())
+            .expect("grown");
+        assert_eq!(grown.reachable_count(), g.reachable_count());
+        assert_eq!(grown.edge_count(), g.edge_count());
+        assert_eq!(
+            grown.callees(FuncId::from_index(p.function_count())).count(),
+            0,
+            "appended function has no edges"
+        );
+        assert!(!grown.is_reachable(FuncId::from_index(p.function_count())));
+    }
+
+    #[test]
+    fn from_parts_rejects_structural_corruption() {
+        let (p, g) = graph(
+            "int f() { return 1; } int main() { return f(); }",
+            Algorithm::Rta,
+        );
+        let (fns, classes) = (p.function_count(), p.class_count());
+        // Too-short program.
+        assert!(CallGraph::from_parts(g.to_parts(), fns - 1, classes).is_err());
+        // Unsorted reachable ids.
+        let mut parts = g.to_parts();
+        parts.reachable.reverse();
+        assert!(CallGraph::from_parts(parts, fns, classes).is_err());
+        // Offsets disagreeing with targets.
+        let mut parts = g.to_parts();
+        parts.edge_targets.pop();
+        assert!(CallGraph::from_parts(parts, fns, classes).is_err());
+        // Non-monotone offsets.
+        let mut parts = g.to_parts();
+        if parts.edge_offsets.len() > 2 {
+            parts.edge_offsets[1] = u32::MAX;
+            assert!(CallGraph::from_parts(parts, fns, classes).is_err());
+        }
+        // Out-of-range edge target.
+        let mut parts = g.to_parts();
+        if let Some(t) = parts.edge_targets.first_mut() {
+            *t = FuncId::from_index(fns + 9);
+            assert!(CallGraph::from_parts(parts, fns, classes).is_err());
+        }
+    }
+
+    #[test]
+    fn schedule_replay_reproduces_fresh_telemetry() {
+        let src = "
+            class A { public: virtual int f() { return 0; } virtual ~A() { } };
+            class B : public A { public: virtual int f() { return make(); } ~B() { } };
+            class C : public A { public: virtual int f() { return 2; } };
+            int ind() { return 7; }
+            int make() { B* b = new B(); A* a = b; int r = a->f(); delete b; return r; }
+            int main() { A a; int (*fp)() = ind; return a.f() + fp() + make(); }";
+        let tu = parse(src).expect("parse");
+        let p = Program::build(&tu).expect("sema");
+        let summary = ProgramSummary::build(&p, false, 1);
+        let options = CallGraphOptions::default();
+
+        let fresh_tel = Telemetry::enabled();
+        let (g, schedule) =
+            CallGraph::build_from_summary_schedule(&p, &summary, &options, &fresh_tel)
+                .expect("fresh");
+        assert!(!schedule.rounds.is_empty());
+        assert_eq!(
+            schedule.rounds.iter().map(|r| r.pops).sum::<u64>(),
+            schedule.pops
+        );
+
+        let replay_tel = Telemetry::enabled();
+        let reused = CallGraph::from_parts(g.to_parts(), p.function_count(), p.class_count())
+            .expect("from_parts");
+        replay_schedule(&reused, &schedule, &replay_tel);
+
+        assert_eq!(fresh_tel.counters(), replay_tel.counters());
+        assert_eq!(fresh_tel.stats(), replay_tel.stats());
+        assert_eq!(fresh_tel.metrics_snapshot(), replay_tel.metrics_snapshot());
+        assert_eq!(
+            fresh_tel.events_ndjson(Some(ddm_telemetry::EventClass::Deterministic)),
+            replay_tel.events_ndjson(Some(ddm_telemetry::EventClass::Deterministic)),
+            "deterministic event stream must be byte-identical"
+        );
     }
 
     #[test]

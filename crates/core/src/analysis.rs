@@ -402,6 +402,25 @@ impl<'p> DeadMemberAnalysis<'p> {
         callgraph: &CallGraph,
         telemetry: &Telemetry,
     ) -> Result<Liveness, TypeError> {
+        self.run_summary_counted(summary, callgraph, telemetry)
+            .map(|(liveness, _)| liveness)
+    }
+
+    /// [`DeadMemberAnalysis::run_summary_with`], also returning the
+    /// scan's deterministic counters. The telemetry handle may be
+    /// disabled (it drops counters); callers persisting the converged
+    /// state need the counter values regardless, so they are returned
+    /// directly.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DeadMemberAnalysis::run_summary`].
+    pub fn run_summary_counted(
+        &self,
+        summary: &ProgramSummary,
+        callgraph: &CallGraph,
+        telemetry: &Telemetry,
+    ) -> Result<(Liveness, Counters), TypeError> {
         let scan_span = telemetry.span(LANE_MAIN, || {
             format!("liveness replay ({} fns)", callgraph.reachable_count())
         });
@@ -456,7 +475,7 @@ impl<'p> DeadMemberAnalysis<'p> {
         drop(union_span);
         emit_liveness_events(telemetry, &marker.counters);
         telemetry.add_counters(&marker.counters);
-        Ok(marker.liveness)
+        Ok((marker.liveness, marker.counters))
     }
 
     /// The shared pre-scan state: everything dead, library members
@@ -497,6 +516,26 @@ impl<'p> DeadMemberAnalysis<'p> {
         walk_globals(self.program, &lookup, &mut sink)?;
         Ok(marker)
     }
+}
+
+/// Re-emits a persisted liveness scan's telemetry — the deterministic
+/// `liveness_scan` / `liveness_union` events, the counters, the
+/// metrics, and the scan stats — exactly as
+/// [`DeadMemberAnalysis::run_summary_with`] over `reachable_count`
+/// reachable functions would. Snapshot warm starts that reuse a stored
+/// [`Liveness`] call this instead of re-scanning.
+pub fn replay_liveness_telemetry(
+    telemetry: &Telemetry,
+    reachable_count: usize,
+    counters: &Counters,
+) {
+    telemetry.update_stats(|s| {
+        s.scan_rounds += 1;
+        s.scan_shards = s.scan_shards.max(1);
+        s.summary_replays += 1 + reachable_count as u64;
+    });
+    emit_liveness_events(telemetry, counters);
+    telemetry.add_counters(counters);
 }
 
 /// Flight-recorder tail of every liveness engine: the scan totals and

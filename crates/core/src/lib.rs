@@ -29,11 +29,18 @@ pub mod liveness;
 pub mod pipeline;
 pub mod project;
 pub mod report;
+pub mod snapshot;
 
-pub use analysis::{AnalysisConfig, DeadMemberAnalysis, SizeofPolicy, SEQUENTIAL_SCAN_THRESHOLD};
+pub use analysis::{
+    replay_liveness_telemetry, AnalysisConfig, DeadMemberAnalysis, SizeofPolicy,
+    SEQUENTIAL_SCAN_THRESHOLD,
+};
 pub use eliminate::{eliminate, eliminate_with, Elimination, KeepReason};
 pub use explain::{explain, witness_path};
-pub use liveness::{LiveReason, Liveness, Origin};
+pub use liveness::{LiveReason, Liveness, LivenessParts, Origin};
 pub use pipeline::{AnalysisPipeline, Engine, PipelineError};
 pub use project::{config_fingerprint, ProjectError, ProjectPipeline};
 pub use report::{ClassReport, Report};
+pub use snapshot::{
+    snapshot_fingerprint, AnalysisSnapshot, SNAPSHOT_FILE, SNAPSHOT_FORMAT_VERSION,
+};

@@ -255,6 +255,39 @@ impl Liveness {
         self.live.iter().map(|(&m, &r)| (m, r))
     }
 
+    /// Decomposes the classification into plain sorted lists for
+    /// snapshot serialization. Lossless up to the dense accelerator
+    /// (re-attachable via [`Liveness::from_parts`]).
+    pub fn to_parts(&self) -> LivenessParts {
+        LivenessParts {
+            live: self.live.iter().map(|(&m, &r)| (m, r)).collect(),
+            unclassifiable: self.unclassifiable.iter().copied().collect(),
+            origins: self.origins.iter().map(|(&m, &o)| (m, o)).collect(),
+        }
+    }
+
+    /// Rebuilds a classification from [`Liveness::to_parts`] output,
+    /// optionally re-attaching a dense accelerator. The rebuilt value
+    /// compares equal to the original and answers [`Liveness::origin`]
+    /// identically — everything the debug cross-check and the report
+    /// observe.
+    pub fn from_parts(parts: &LivenessParts, index: Option<MemberIndex>) -> Liveness {
+        let mut l = match index {
+            Some(ix) => Liveness::with_member_index(ix),
+            None => Liveness::new(),
+        };
+        for &(m, r) in &parts.live {
+            l.mark_live(m, r);
+        }
+        for &m in &parts.unclassifiable {
+            l.mark_unclassifiable(m);
+        }
+        for &(m, o) in &parts.origins {
+            l.origins.insert(m, o);
+        }
+        l
+    }
+
     /// All dead members of `program`, in declaration order.
     pub fn dead_members<'a>(&'a self, program: &'a Program) -> Vec<MemberRef> {
         let mut out = Vec::new();
@@ -268,6 +301,18 @@ impl Liveness {
         }
         out
     }
+}
+
+/// The serializable decomposition of a [`Liveness`] (sorted lists,
+/// deterministic for equal classifications).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LivenessParts {
+    /// Live members with their first-wins reasons, ascending.
+    pub live: Vec<(MemberRef, LiveReason)>,
+    /// Unclassifiable (library) members, ascending.
+    pub unclassifiable: Vec<MemberRef>,
+    /// Recorded first-wins provenance, ascending by member.
+    pub origins: Vec<(MemberRef, Origin)>,
 }
 
 #[cfg(test)]
@@ -448,6 +493,39 @@ mod tests {
         plain.mark_live(mref(0, 0), LiveReason::Read);
         assert_eq!(plain.origin(mref(0, 0)), None);
         assert_eq!(plain, a);
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_classification_and_origins() {
+        let f = FuncId::from_index(2);
+        let mut l = Liveness::new();
+        l.mark_live_from(mref(0, 0), LiveReason::Read, Origin::Access { func: Some(f) });
+        l.mark_live(mref(0, 1), LiveReason::Sizeof);
+        l.mark_live_from(
+            mref(1, 0),
+            LiveReason::UnionPropagation,
+            Origin::Union {
+                root: ClassId::from_index(1),
+                via: mref(1, 1),
+            },
+        );
+        l.mark_unclassifiable(mref(3, 0));
+        let parts = l.to_parts();
+        let back = Liveness::from_parts(&parts, None);
+        assert_eq!(back, l);
+        assert_eq!(back.to_parts(), parts, "roundtrip is a fixpoint");
+        assert_eq!(back.origin(mref(0, 0)), l.origin(mref(0, 0)));
+        assert_eq!(back.origin(mref(0, 1)), None);
+        assert_eq!(back.origin(mref(1, 0)), l.origin(mref(1, 0)));
+        // Dense-backed rebuild is classification-identical too.
+        let tu = ddm_cppfront::parse(
+            "class A { public: int a0; int a1; };\nclass B { public: int b0; int b1; };\nint main() { return 0; }",
+        )
+        .unwrap();
+        let program = Program::build(&tu).unwrap();
+        let dense = Liveness::from_parts(&parts, Some(MemberIndex::new(&program)));
+        assert_eq!(dense, l);
+        assert!(dense.is_live(mref(0, 0)));
     }
 
     #[test]

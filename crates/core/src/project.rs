@@ -26,21 +26,24 @@
 //! directory is opened. The `DDM_CACHE_FAULT` environment variable
 //! injects crashes into the write path for the torture tests.
 
-use crate::analysis::{AnalysisConfig, DeadMemberAnalysis};
+use crate::analysis::{replay_liveness_telemetry, AnalysisConfig, DeadMemberAnalysis};
 use crate::liveness::Liveness;
 use crate::pipeline::{emit_classification_event, Engine, PipelineError};
 use crate::report::Report;
-use ddm_callgraph::{Algorithm, CallGraph, CallGraphOptions};
+use crate::snapshot::{snapshot_fingerprint, AnalysisSnapshot, SNAPSHOT_FILE};
+use ddm_callgraph::{replay_schedule, Algorithm, CallGraph, CallGraphOptions, CgSchedule};
 use ddm_cppfront::{parse, SourceMap, SourceSet};
 use ddm_hierarchy::{
-    body_walk_count, fnv1a64, hash_hex, link_with, used_classes, ClassId, LinkError,
-    LinkedProgram, MemberLookup, Program, ProgramSummary, TuModule, TypeError,
+    body_walk_count, fnv1a64, hash_hex, link_delta_ref, link_with, used_classes, ClassId, FuncId,
+    LinkDelta, LinkError, LinkedProgram, MemberLookup, Program, ProgramSummary, TuModule,
+    TypeError,
 };
 use ddm_telemetry::{Counters, EventClass, Telemetry, LANE_MAIN};
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Any error a project run can produce.
 #[derive(Debug)]
@@ -167,18 +170,20 @@ fn publish_entry(dir: &Path, source_hash: u64, doc: &str) {
     }
 }
 
-/// Removes dangling `tu-*.json.tmp.*` files left by a crashed writer.
-/// Runs when a cache directory is opened for probing; racing against a
-/// live concurrent writer is harmless — the victim's rename fails and
-/// its entry is simply recomputed on its next run.
+/// Removes dangling `tu-*.json.tmp.*` and `analysis.snap.tmp.*` files
+/// left by a crashed writer. Runs when a cache directory is opened for
+/// probing; racing against a live concurrent writer is harmless — the
+/// victim's rename fails and its entry is simply recomputed on its next
+/// run.
 fn sweep_dangling_temps(dir: &Path, telemetry: &Telemetry) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
+    let snap_tmp = format!("{SNAPSHOT_FILE}.tmp.");
     for entry in entries.flatten() {
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        if name.starts_with("tu-") && name.contains(".json.tmp") {
+        if (name.starts_with("tu-") && name.contains(".json.tmp")) || name.starts_with(&snap_tmp) {
             let _ = std::fs::remove_file(entry.path());
             telemetry.event(EventClass::Observational, "cache_temp_swept", || {
                 vec![("temp", name.as_ref().into())]
@@ -198,6 +203,57 @@ fn invalidation_reason(err: &str) -> &'static str {
         "source hash mismatch" => "source_hash",
         _ => "corrupt",
     }
+}
+
+/// Decides whether the persisted fixpoint can be replayed verbatim over
+/// the freshly linked program, given the summary diff of the edit.
+///
+/// The argument (see DESIGN.md §5i): unchanged TUs contribute records
+/// identical to the snapshot's. A stable class space means every class,
+/// method, member, and dispatch-table id is preserved, and the root set
+/// (which depends only on `main` and the library-class virtual
+/// overrides) is preserved too — provided `main` itself did not appear.
+/// Free-function names are globally unique, so matching each stored
+/// reachable function's display name at its stored id proves the id
+/// assignment of the whole reachable region survived; requiring that no
+/// reachable name was edited or removed proves each replayed summary is
+/// the one the fixpoint converged over. By induction on the worklist
+/// rounds the new reachable closure, its schedule, and the liveness
+/// facts it derives equal the stored ones exactly. Everything outside
+/// the reachable region (added, removed, or edited unreachable
+/// functions) can, by definition, never be pulled in: its only entry
+/// points are calls from reachable functions, all of which are
+/// unchanged.
+fn fixpoint_reusable(snap: &AnalysisSnapshot, delta: &LinkDelta, program: &Program) -> bool {
+    if !delta.class_space_stable() {
+        return false;
+    }
+    if snap.class_count as usize != program.class_count()
+        || snap.function_count as usize > program.function_count()
+    {
+        return false;
+    }
+    let named = |list: &[String], name: &str| {
+        list.binary_search_by(|n| n.as_str().cmp(name)).is_ok()
+    };
+    // A newly appearing `main` would change the root set without ever
+    // being named by the stored reachable region.
+    if named(&delta.fns_added, "main") {
+        return false;
+    }
+    for (id, name) in &snap.reachable_names {
+        let id = *id as usize;
+        if id >= program.function_count() {
+            return false;
+        }
+        if named(&delta.fns_changed, name) || named(&delta.fns_removed, name) {
+            return false;
+        }
+        if program.func_display_name(FuncId::from_index(id)) != *name {
+            return false;
+        }
+    }
+    true
 }
 
 impl ProjectPipeline {
@@ -236,25 +292,99 @@ impl ProjectPipeline {
             Engine::Walk => None,
         };
 
-        // --- Cache probe: content-hash every input, load what we can. ---
+        // --- Cache probe: content-hash every input, load what we can.
+        // A valid analysis snapshot short-circuits the per-TU JSON probe
+        // for every unchanged TU (its module decodes straight from the
+        // snapshot); changed TUs still go through the JSON probe, so the
+        // summary cache keeps its hit/miss/invalidation semantics. ---
+        let frontend_start = Instant::now();
+        let snap_fingerprint = snapshot_fingerprint(&config, algorithm);
         let mut hits = 0u64;
         let mut invalidations = 0u64;
         let hashes: Vec<u64> = inputs
             .iter()
             .map(|(_, source)| fnv1a64(source.as_bytes()))
             .collect();
+        let mut snapshot: Option<AnalysisSnapshot> = None;
+        // Rendered summary-entry size per TU, filled by whichever path
+        // first learns it (snapshot, cache entry on disk, or the
+        // write-back render). `None` means nobody rendered it yet; the
+        // metrics histogram renders on demand for those.
+        let mut byte_lens: Vec<Option<u64>> = vec![None; inputs.len()];
+        // The snapshot's stored modules, moved (not cloned) out of the
+        // envelope: unchanged TUs take theirs during the probe, leaving
+        // `Some` behind exactly at changed positions — the previous-side
+        // modules the summary diff needs.
+        let mut snap_modules: Vec<Option<TuModule>> = Vec::new();
         let mut modules: Vec<Option<TuModule>> = {
             let _probe = telemetry.span(LANE_MAIN, || {
                 format!("cache probe ({} TUs)", inputs.len())
             });
             if let Some(dir) = cache {
                 sweep_dangling_temps(dir, telemetry);
+                // Snapshot outcomes differ cold vs warm, so every
+                // snapshot event is obs class, like the probe events.
+                match AnalysisSnapshot::load(dir, &snap_fingerprint) {
+                    Ok(snap) if snap.source_hashes.len() == inputs.len() => {
+                        telemetry.event(EventClass::Observational, "snapshot_loaded", || {
+                            vec![
+                                ("tus", snap.source_hashes.len().into()),
+                                ("functions", u64::from(snap.function_count).into()),
+                            ]
+                        });
+                        snapshot = Some(snap);
+                        let snap = snapshot.as_mut().expect("just set");
+                        snap_modules =
+                            std::mem::take(&mut snap.modules).into_iter().map(Some).collect();
+                    }
+                    Ok(_) => {
+                        telemetry.event(EventClass::Observational, "snapshot_rejected", || {
+                            vec![("reason", "tu_count".into())]
+                        });
+                    }
+                    Err(reason) => {
+                        // A plainly absent snapshot is the ordinary cold
+                        // case, not worth an event.
+                        if reason != "missing" {
+                            telemetry.event(
+                                EventClass::Observational,
+                                "snapshot_rejected",
+                                || vec![("reason", reason.as_str().into())],
+                            );
+                        }
+                    }
+                }
             }
             inputs
                 .iter()
                 .zip(&hashes)
-                .map(|((file, _), &hash)| {
+                .enumerate()
+                .map(|(i, ((file, _), &hash))| {
                     let dir = cache?;
+                    if let Some(snap) = &snapshot {
+                        if snap.source_hashes[i] == hash {
+                            // Unchanged since the snapshot: its module is
+                            // already in memory and is moved out, not
+                            // cloned. Keyed by content, so a renamed file
+                            // still hits. The entry size was recorded
+                            // when the snapshot was written, so the hit
+                            // costs no JSON render.
+                            let mut module =
+                                snap_modules[i].take().expect("snapshot module taken once");
+                            module.file = file.clone();
+                            let bytes = snap.summary_bytes[i];
+                            byte_lens[i] = Some(bytes);
+                            telemetry.event(EventClass::Observational, "tu_cache_hit", || {
+                                vec![
+                                    ("file", file.as_str().into()),
+                                    ("hash", hash_hex(hash).into()),
+                                    ("bytes", bytes.into()),
+                                ]
+                            });
+                            hits += 1;
+                            return Some(module);
+                        }
+                    }
                     let doc = match std::fs::read_to_string(cache_path(dir, hash)) {
                         Ok(doc) => doc,
                         Err(_) => {
@@ -274,6 +404,7 @@ impl ProjectPipeline {
                             // the same bytes under a new name hit.
                             module.file = file.clone();
                             hits += 1;
+                            byte_lens[i] = Some(doc.len() as u64);
                             telemetry.event(EventClass::Observational, "tu_cache_hit", || {
                                 vec![
                                     ("file", file.as_str().into()),
@@ -383,7 +514,7 @@ impl ProjectPipeline {
                 }
             }
         }
-        let modules: Vec<TuModule> = modules
+        let mut modules: Vec<TuModule> = modules
             .into_iter()
             .map(|m| m.expect("every TU has a module after the front end"))
             .collect();
@@ -396,6 +527,7 @@ impl ProjectPipeline {
             let _ = std::fs::create_dir_all(dir);
             for &i in &todo {
                 let doc = modules[i].to_json(&fingerprint);
+                byte_lens[i] = Some(doc.len() as u64);
                 publish_entry(dir, hashes[i], &doc);
                 telemetry.event(EventClass::Observational, "tu_cache_publish", || {
                     vec![
@@ -409,21 +541,62 @@ impl ProjectPipeline {
 
         // TU summary sizes, recorded for *every* module (not just the
         // written-back ones) in input order, so the bucket counts are
-        // identical cold or warm. Rendering to JSON costs a little, but
-        // only runs when metrics collection is on.
+        // identical cold or warm. Sizes learned during the probe or the
+        // write-back are reused; only modules nobody rendered (the
+        // cacheless run) pay for a render here, and only when metrics
+        // collection is on.
         telemetry.metrics(|m| {
-            for module in &modules {
-                m.hist_record(
-                    "frontend/tu_summary_bytes",
-                    module.to_json(&fingerprint).len() as u64,
-                );
+            for (module, len) in modules.iter().zip(&byte_lens) {
+                let bytes =
+                    len.unwrap_or_else(|| module.to_json(&fingerprint).len() as u64);
+                m.hist_record("frontend/tu_summary_bytes", bytes);
             }
         });
 
+        // --- Summary diff vs the snapshot, over borrowed module lists.
+        // An unchanged TU's previous side is the current module itself
+        // (content-identical by hash), so nothing is cloned and a
+        // content-identical TU under a new name is not a change; a
+        // changed TU's previous side is the module left behind in
+        // `snap_modules`. The delta drives the fixpoint-reuse gate
+        // below. ---
+        let frontend_ns = frontend_start.elapsed().as_nanos() as u64;
+        let delta: Option<LinkDelta> = snapshot.as_ref().map(|_| {
+            let previous: Vec<&TuModule> = snap_modules
+                .iter()
+                .enumerate()
+                .map(|(i, old)| old.as_ref().unwrap_or(&modules[i]))
+                .collect();
+            link_delta_ref(&previous, &modules)
+        });
+        if let Some(delta) = &delta {
+            telemetry.event(EventClass::Observational, "link_delta", || {
+                vec![
+                    ("tus_changed", delta.tus_changed.len().into()),
+                    ("fns_added", delta.fns_added.len().into()),
+                    ("fns_removed", delta.fns_removed.len().into()),
+                    ("fns_changed", delta.fns_changed.len().into()),
+                    (
+                        "classes_changed",
+                        (delta.classes_added.len()
+                            + delta.classes_removed.len()
+                            + delta.classes_changed.len())
+                        .into(),
+                    ),
+                    (
+                        "class_space_stable",
+                        u64::from(delta.class_space_stable()).into(),
+                    ),
+                ]
+            });
+        }
+
         // --- Link. ---
+        let link_start = Instant::now();
         let link_span = telemetry.span(LANE_MAIN, || format!("link ({} TUs)", modules.len()));
         let linked = link_with(&modules, &parsed, telemetry).map_err(ProjectError::Link)?;
         drop(link_span);
+        let link_ns = link_start.elapsed().as_nanos() as u64;
 
         #[cfg(debug_assertions)]
         if engine == Engine::Summary && hits == 0 {
@@ -464,34 +637,125 @@ impl ProjectPipeline {
                 error: PipelineError::Type(e),
             }
         };
+        // --- Fixpoint-reuse gate: with a snapshot in hand and a summary
+        // diff that provably cannot perturb the converged fixpoint, the
+        // stored call graph and liveness are replayed instead of re-run.
+        // `Everything` builds no schedule (and is trivial to rebuild),
+        // so it never replays. ---
+        let reusable = match (&snapshot, &delta) {
+            (Some(snap), Some(delta))
+                if engine == Engine::Summary && algorithm != Algorithm::Everything =>
+            {
+                fixpoint_reusable(snap, delta, program)
+            }
+            _ => false,
+        };
+        if let Some(delta) = &delta {
+            let frontier = delta.frontier_len();
+            let total = program.function_count();
+            telemetry.event(EventClass::Observational, "fixpoint_invalidate", || {
+                vec![
+                    ("frontier_fns", frontier.into()),
+                    ("total_fns", total.into()),
+                    ("reused", u64::from(reusable).into()),
+                ]
+            });
+        }
+
+        let mut callgraph_ns = 0u64;
+        let mut liveness_ns = 0u64;
+        let mut fixpoint_reused = false;
+        // The converged schedule and scan counters of whichever path
+        // ran, kept for the snapshot write-back.
+        let mut schedule: Option<CgSchedule> = None;
+        let mut scan_counters: Option<Counters> = None;
         let (callgraph, liveness, used) = match engine {
             Engine::Walk => {
                 let lookup = MemberLookup::new(program);
+                let cg_start = Instant::now();
                 let cg_span = telemetry.span(LANE_MAIN, || "callgraph".to_string());
                 let callgraph = CallGraph::build_with(program, &lookup, &cg_options, telemetry)
                     .map_err(attribute)?;
                 drop(cg_span);
+                callgraph_ns = cg_start.elapsed().as_nanos() as u64;
+                let live_start = Instant::now();
                 let liveness = DeadMemberAnalysis::new(program, config.clone())
                     .run_jobs_with(&callgraph, jobs, telemetry)
                     .map_err(attribute)?;
+                liveness_ns = live_start.elapsed().as_nanos() as u64;
                 let used_span = telemetry.span(LANE_MAIN, || "used classes".to_string());
                 let used = used_classes(program, &lookup).map_err(attribute)?;
                 drop(used_span);
                 (callgraph, liveness, used)
             }
             Engine::Summary => {
-                let cg_span = telemetry.span(LANE_MAIN, || "callgraph".to_string());
-                let callgraph = CallGraph::build_from_summary_with(
-                    program,
-                    linked.summary(),
-                    &cg_options,
-                    telemetry,
-                )
-                .map_err(attribute)?;
-                drop(cg_span);
-                let liveness = DeadMemberAnalysis::new(program, config.clone())
-                    .run_summary_with(linked.summary(), &callgraph, telemetry)
-                    .map_err(attribute)?;
+                let mut replayed: Option<(CallGraph, Liveness)> = None;
+                if reusable {
+                    let snap = snapshot.as_ref().expect("the gate implies a snapshot");
+                    let cg_start = Instant::now();
+                    let cg_span = telemetry.span(LANE_MAIN, || "callgraph".to_string());
+                    match CallGraph::from_parts(
+                        snap.callgraph.clone(),
+                        program.function_count(),
+                        program.class_count(),
+                    ) {
+                        Ok(callgraph) => {
+                            replay_schedule(&callgraph, &snap.schedule, telemetry);
+                            drop(cg_span);
+                            callgraph_ns = cg_start.elapsed().as_nanos() as u64;
+                            let live_start = Instant::now();
+                            let liveness = Liveness::from_parts(
+                                &snap.liveness,
+                                Some(linked.summary().member_index().clone()),
+                            );
+                            replay_liveness_telemetry(
+                                telemetry,
+                                callgraph.reachable_count(),
+                                &snap.liveness_counters,
+                            );
+                            liveness_ns = live_start.elapsed().as_nanos() as u64;
+                            schedule = Some(snap.schedule.clone());
+                            scan_counters = Some(snap.liveness_counters);
+                            fixpoint_reused = true;
+                            replayed = Some((callgraph, liveness));
+                        }
+                        Err(reason) => {
+                            // Structurally impossible after the gate; if
+                            // it ever fires, fall back to a fresh run.
+                            drop(cg_span);
+                            telemetry.event(
+                                EventClass::Observational,
+                                "snapshot_rejected",
+                                || vec![("reason", reason.as_str().into())],
+                            );
+                        }
+                    }
+                }
+                let (callgraph, liveness) = match replayed {
+                    Some(pair) => pair,
+                    None => {
+                        let cg_start = Instant::now();
+                        let cg_span = telemetry.span(LANE_MAIN, || "callgraph".to_string());
+                        let (callgraph, fresh_schedule) = CallGraph::build_from_summary_schedule(
+                            program,
+                            linked.summary(),
+                            &cg_options,
+                            telemetry,
+                        )
+                        .map_err(attribute)?;
+                        drop(cg_span);
+                        callgraph_ns = cg_start.elapsed().as_nanos() as u64;
+                        let live_start = Instant::now();
+                        let (liveness, fresh_counters) =
+                            DeadMemberAnalysis::new(program, config.clone())
+                                .run_summary_counted(linked.summary(), &callgraph, telemetry)
+                                .map_err(attribute)?;
+                        liveness_ns = live_start.elapsed().as_nanos() as u64;
+                        schedule = Some(fresh_schedule);
+                        scan_counters = Some(fresh_counters);
+                        (callgraph, liveness)
+                    }
+                };
                 let used_span = telemetry.span(LANE_MAIN, || "used classes".to_string());
                 let used = linked.summary().used_classes(program).map_err(attribute)?;
                 drop(used_span);
@@ -499,6 +763,63 @@ impl ProjectPipeline {
             }
         };
 
+        // Debug builds cross-check every replayed fixpoint against a
+        // fresh one, bit for bit: graph, schedule, classification,
+        // origins, and scan counters must all agree, or the reuse gate
+        // let an unsound edit through.
+        #[cfg(debug_assertions)]
+        if fixpoint_reused {
+            let quiet = Telemetry::disabled();
+            let (fresh_cg, mut fresh_schedule) = CallGraph::build_from_summary_schedule(
+                program,
+                linked.summary(),
+                &cg_options,
+                &quiet,
+            )
+            .map_err(attribute)?;
+            debug_assert_eq!(
+                fresh_cg, callgraph,
+                "replayed call graph diverged from a fresh fixpoint"
+            );
+            // The interner digests the whole program — unreachable and
+            // freshly added functions included — so its size may
+            // legitimately drift under a gate-passing edit. It feeds
+            // exec stats only, never the deterministic stream.
+            if let Some(stored) = schedule.as_ref() {
+                fresh_schedule.interned_symbols = stored.interned_symbols;
+                fresh_schedule.arena_bytes = stored.arena_bytes;
+            }
+            debug_assert_eq!(
+                Some(&fresh_schedule),
+                schedule.as_ref(),
+                "replayed schedule diverged from a fresh fixpoint"
+            );
+            let (fresh_liveness, fresh_counters) = DeadMemberAnalysis::new(program, config.clone())
+                .run_summary_counted(linked.summary(), &fresh_cg, &quiet)
+                .map_err(attribute)?;
+            debug_assert_eq!(
+                fresh_liveness, liveness,
+                "replayed liveness diverged from a fresh scan"
+            );
+            debug_assert_eq!(
+                fresh_liveness.to_parts().origins,
+                liveness.to_parts().origins,
+                "replayed origins diverged from a fresh scan"
+            );
+            debug_assert_eq!(
+                Some(fresh_counters),
+                scan_counters,
+                "replayed scan counters diverged from a fresh scan"
+            );
+        }
+
+        let snapshot_warm = u64::from(snapshot.is_some());
+        let reused_fns = if fixpoint_reused {
+            callgraph.reachable_count() as u64
+        } else {
+            0
+        };
+        let frontier_fns = delta.as_ref().map_or(0, |d| d.frontier_len() as u64);
         telemetry.update_stats(|s| {
             s.engine = engine.to_string();
             s.jobs = jobs as u64;
@@ -509,6 +830,13 @@ impl ProjectPipeline {
             s.tu_cache_invalidations = invalidations;
             s.tus_parsed = todo.len() as u64;
             s.tus_summarized = todo.len() as u64;
+            s.frontend_ns += frontend_ns;
+            s.link_ns += link_ns;
+            s.callgraph_ns += callgraph_ns;
+            s.liveness_ns += liveness_ns;
+            s.snapshot_warm_starts += snapshot_warm;
+            s.snapshot_reused_fns += reused_fns;
+            s.snapshot_frontier_fns += frontier_fns;
         });
         let mut tail = Counters::default();
         tail.reachable_functions = callgraph.reachable_count() as u64;
@@ -528,6 +856,51 @@ impl ProjectPipeline {
         }
         telemetry.add_counters(&tail);
         emit_classification_event(telemetry, &tail);
+
+        // --- Snapshot write-back (best-effort, atomic). Skipped when
+        // nothing changed and the fixpoint was replayed: the published
+        // snapshot is already byte-identical to what we would write. ---
+        if let Some(dir) = cache {
+            let unchanged = delta.as_ref().is_some_and(|d| d.is_empty());
+            if !(unchanged && fixpoint_reused) {
+                if let (Some(schedule), Some(scan_counters)) = (&schedule, &scan_counters) {
+                    let _snap_span =
+                        telemetry.span(LANE_MAIN, || "snapshot write".to_string());
+                    let snap = AnalysisSnapshot {
+                        fingerprint: snap_fingerprint.clone(),
+                        source_hashes: hashes.clone(),
+                        summary_bytes: modules
+                            .iter()
+                            .zip(&byte_lens)
+                            .map(|(m, len)| {
+                                len.unwrap_or_else(|| m.to_json(&fingerprint).len() as u64)
+                            })
+                            .collect(),
+                        // The module list is dead after this point, so
+                        // the snapshot takes it instead of cloning it.
+                        modules: std::mem::take(&mut modules),
+                        reachable_names: callgraph
+                            .reachable()
+                            .map(|f| (f.index() as u32, program.func_display_name(f)))
+                            .collect(),
+                        class_count: program.class_count() as u32,
+                        function_count: program.function_count() as u32,
+                        callgraph: callgraph.to_parts(),
+                        schedule: schedule.clone(),
+                        liveness: liveness.to_parts(),
+                        liveness_counters: *scan_counters,
+                    };
+                    let _ = std::fs::create_dir_all(dir);
+                    snap.save(dir);
+                    telemetry.event(EventClass::Observational, "snapshot_publish", || {
+                        vec![
+                            ("tus", snap.source_hashes.len().into()),
+                            ("functions", u64::from(snap.function_count).into()),
+                        ]
+                    });
+                }
+            }
+        }
 
         let mut sources = SourceSet::new();
         for (file, source) in inputs {

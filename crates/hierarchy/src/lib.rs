@@ -24,6 +24,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod binmod;
 pub mod bitset;
 pub mod ids;
 pub mod intern;
@@ -38,11 +39,15 @@ pub mod summary;
 pub mod typewalk;
 pub mod used;
 
+pub use binmod::{
+    decode_module, decode_modules, encode_module, encode_modules, ByteReader, ByteWriter,
+    BINMOD_FORMAT_VERSION,
+};
 pub use bitset::{ClassBitSet, DenseBitSet, FuncBitSet};
 pub use ids::{ClassId, FuncId, MemberRef};
 pub use intern::{Interner, Symbol};
 pub use layout::{ClassLayout, FieldSlot, LayoutEngine};
-pub use link::{link, link_with, LinkError, LinkedProgram};
+pub use link::{link, link_delta, link_delta_ref, link_with, LinkDelta, LinkError, LinkedProgram};
 pub use lookup::{Found, LookupError, MemberLookup};
 pub use model::{
     by_value_class, BaseInfo, ClassInfo, FunctionInfo, GlobalInfo, MemberInfo, Program, SemaError,

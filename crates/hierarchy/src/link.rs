@@ -181,6 +181,7 @@ pub fn link_with(
     let mut class_order: Vec<(usize, &ClassRecord)> = Vec::new();
     for (t, m) in modules.iter().enumerate() {
         for c in &m.classes {
+            let c: &ClassRecord = c;
             match class_first.get(c.name.as_str()) {
                 None => {
                     class_first.insert(&c.name, (t, c));
@@ -589,6 +590,180 @@ fn synth_function(
     }
 }
 
+/// The summary-level difference between two module lists, computed
+/// before linking. This is what drives the incremental warm path:
+/// [`link_delta`] names exactly which classes and free functions an
+/// edit touched, so the fixpoint can decide whether the previous
+/// converged state is still valid (class space stable, no reachable
+/// function perturbed) instead of re-running from scratch.
+///
+/// Identity is by *name* — the same identity the linker itself merges
+/// under — and "changed" means the merged record is no longer
+/// value-equal, which is strictly stronger than ODR identity (a method
+/// body edit changes the summary but not the ODR shape; it still must
+/// invalidate the fixpoint).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkDelta {
+    /// Positions (input order) of TUs whose module content changed,
+    /// including positions only present on one side.
+    pub tus_changed: Vec<usize>,
+    /// Class names present only in the new module list.
+    pub classes_added: Vec<String>,
+    /// Class names present only in the old module list.
+    pub classes_removed: Vec<String>,
+    /// Class names whose winning (first-appearance) record changed —
+    /// ODR shape, method bodies, or summaries.
+    pub classes_changed: Vec<String>,
+    /// Free-function names present only in the new module list.
+    pub fns_added: Vec<String>,
+    /// Free-function names present only in the old module list.
+    pub fns_removed: Vec<String>,
+    /// Free-function names whose providing record (the definition when
+    /// one exists, else the first prototype) changed.
+    pub fns_changed: Vec<String>,
+    /// Whether every TU's enums, globals, and global-initializer
+    /// summary are unchanged (positionally).
+    pub enums_and_globals_stable: bool,
+}
+
+impl LinkDelta {
+    /// Whether nothing changed at all.
+    pub fn is_empty(&self) -> bool {
+        self.tus_changed.is_empty()
+    }
+
+    /// Whether the linked *class space* is unchanged: no class was
+    /// added, removed, or edited, and enums/globals are stable. When
+    /// this holds, class ids, member ids, dispatch tables, and layouts
+    /// are identical to the previous link, so only function-level
+    /// facts can differ.
+    pub fn class_space_stable(&self) -> bool {
+        self.classes_added.is_empty()
+            && self.classes_removed.is_empty()
+            && self.classes_changed.is_empty()
+            && self.enums_and_globals_stable
+    }
+
+    /// Size of the function-level invalidation frontier: every free
+    /// function the edit added, removed, or changed.
+    pub fn frontier_len(&self) -> usize {
+        self.fns_added.len() + self.fns_removed.len() + self.fns_changed.len()
+    }
+}
+
+/// The per-name record a free function links to: the definition when
+/// one exists, else the first prototype (mirrors `FreeMerge::provider`,
+/// without conflict handling — delta computation is observational).
+fn free_providers<'a>(
+    modules: impl IntoIterator<Item = &'a TuModule>,
+) -> std::collections::BTreeMap<&'a str, &'a FreeFnRecord> {
+    let mut map: std::collections::BTreeMap<&str, &FreeFnRecord> =
+        std::collections::BTreeMap::new();
+    for m in modules {
+        for f in &m.free_fns {
+            match map.get(f.name.as_str()) {
+                None => {
+                    map.insert(&f.name, f);
+                }
+                Some(prev) if !prev.has_body && f.has_body => {
+                    map.insert(&f.name, f);
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    map
+}
+
+/// First-appearance class records by name (the record the ODR merge
+/// keeps).
+fn class_winners<'a>(
+    modules: impl IntoIterator<Item = &'a TuModule>,
+) -> std::collections::BTreeMap<&'a str, &'a ClassRecord> {
+    let mut map: std::collections::BTreeMap<&str, &ClassRecord> = std::collections::BTreeMap::new();
+    for m in modules {
+        for c in &m.classes {
+            let c: &ClassRecord = c;
+            map.entry(&c.name).or_insert(c);
+        }
+    }
+    map
+}
+
+/// Computes the [`LinkDelta`] between the previous run's module list
+/// and the current one. Input order is the TU order handed to
+/// [`link`]; both lists may differ in length (TUs added or dropped).
+///
+/// Cost is linear in the two module lists and independent of the
+/// analysis itself; it runs once per warm start.
+pub fn link_delta(old: &[TuModule], new: &[TuModule]) -> LinkDelta {
+    let old_refs: Vec<&TuModule> = old.iter().collect();
+    link_delta_ref(&old_refs, new)
+}
+
+/// [`link_delta`] over borrowed previous modules. A warm start keeps
+/// the previous run's modules inside its snapshot; this variant lets it
+/// diff against them without cloning the whole module list first (for
+/// an unchanged TU the caller passes a reference to the *current*
+/// module, which is content-identical, so a rename alone is not a
+/// change).
+pub fn link_delta_ref(old: &[&TuModule], new: &[TuModule]) -> LinkDelta {
+    let mut delta = LinkDelta {
+        enums_and_globals_stable: old.len() == new.len(),
+        ..LinkDelta::default()
+    };
+    let positions = old.len().max(new.len());
+    for t in 0..positions {
+        match (old.get(t), new.get(t)) {
+            (Some(a), Some(b)) if **a == *b => {}
+            (Some(a), Some(b)) => {
+                delta.tus_changed.push(t);
+                if a.enums != b.enums
+                    || a.globals != b.globals
+                    || a.globals_summary != b.globals_summary
+                {
+                    delta.enums_and_globals_stable = false;
+                }
+            }
+            _ => delta.tus_changed.push(t),
+        }
+    }
+    if delta.tus_changed.is_empty() {
+        delta.enums_and_globals_stable = true;
+        return delta;
+    }
+
+    let (old_classes, new_classes) =
+        (class_winners(old.iter().copied()), class_winners(new));
+    for (name, rec) in &old_classes {
+        match new_classes.get(name) {
+            None => delta.classes_removed.push((*name).to_string()),
+            Some(new_rec) if new_rec != rec => delta.classes_changed.push((*name).to_string()),
+            Some(_) => {}
+        }
+    }
+    for name in new_classes.keys() {
+        if !old_classes.contains_key(name) {
+            delta.classes_added.push((*name).to_string());
+        }
+    }
+
+    let (old_fns, new_fns) = (free_providers(old.iter().copied()), free_providers(new));
+    for (name, rec) in &old_fns {
+        match new_fns.get(name) {
+            None => delta.fns_removed.push((*name).to_string()),
+            Some(new_rec) if new_rec != rec => delta.fns_changed.push((*name).to_string()),
+            Some(_) => {}
+        }
+    }
+    for name in new_fns.keys() {
+        if !old_fns.contains_key(name) {
+            delta.fns_added.push((*name).to_string());
+        }
+    }
+    delta
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -784,5 +959,84 @@ public:
         let main = linked.program().main_function().unwrap();
         let err = linked.summary().function(main).unwrap_err();
         assert_eq!(linked.locate_error(&err), Some(0));
+    }
+
+    fn modules_of(tus: &[(TuModule, Program)]) -> Vec<TuModule> {
+        tus.iter().map(|(m, _)| m.clone()).collect()
+    }
+
+    #[test]
+    fn link_delta_of_identical_lists_is_empty() {
+        let modules = modules_of(&two_tus());
+        let delta = link_delta(&modules, &modules);
+        assert!(delta.is_empty());
+        assert!(delta.class_space_stable());
+        assert_eq!(delta.frontier_len(), 0);
+    }
+
+    #[test]
+    fn link_delta_names_an_edited_function() {
+        let old = modules_of(&two_tus());
+        let mut new = old.clone();
+        let edited = format!("{HEADER}int touch(Counter* c) {{ return c->bump() + 1; }}");
+        new[1] = tu("b.cpp", &edited).0;
+        let delta = link_delta(&old, &new);
+        assert_eq!(delta.tus_changed, vec![1]);
+        assert!(delta.class_space_stable(), "class space untouched");
+        assert_eq!(delta.fns_changed, vec!["touch".to_string()]);
+        assert!(delta.fns_added.is_empty() && delta.fns_removed.is_empty());
+        assert_eq!(delta.frontier_len(), 1);
+    }
+
+    #[test]
+    fn link_delta_sees_added_and_removed_functions() {
+        let old = modules_of(&two_tus());
+        let mut new = old.clone();
+        let edited = format!("{HEADER}int touch(Counter* c) {{ return c->bump(); }}\nint pad() {{ return 7; }}");
+        new[1] = tu("b.cpp", &edited).0;
+        let delta = link_delta(&old, &new);
+        assert_eq!(delta.fns_added, vec!["pad".to_string()]);
+        assert!(delta.fns_changed.is_empty(), "touch itself is unchanged");
+        let back = link_delta(&new, &old);
+        assert_eq!(back.fns_removed, vec!["pad".to_string()]);
+    }
+
+    #[test]
+    fn link_delta_flags_class_space_changes() {
+        let old = modules_of(&two_tus());
+        // Member edit in the shared header: the class record changes in
+        // both TUs; the ODR winner changes; the space is not stable.
+        let grown = HEADER.replace("int dead;", "int dead;\n    int extra;");
+        let a = format!("{grown}int touch(Counter* c);\nint main() {{ Counter c(1); return touch(&c); }}");
+        let b = format!("{grown}int touch(Counter* c) {{ return c->bump(); }}");
+        let new = modules_of(&[tu("a.cpp", &a), tu("b.cpp", &b)]);
+        let delta = link_delta(&old, &new);
+        assert_eq!(delta.classes_changed, vec!["Counter".to_string()]);
+        assert!(!delta.class_space_stable());
+        // A body-only method edit also invalidates the class (summaries
+        // changed) even though its ODR shape is identical.
+        let retuned = HEADER.replace("return ++count;", "return count;");
+        let a2 = format!("{retuned}int touch(Counter* c);\nint main() {{ Counter c(1); return touch(&c); }}");
+        let b2 = format!("{retuned}int touch(Counter* c) {{ return c->bump(); }}");
+        let new2 = modules_of(&[tu("a.cpp", &a2), tu("b.cpp", &b2)]);
+        let delta2 = link_delta(&old, &new2);
+        assert_eq!(delta2.classes_changed, vec!["Counter".to_string()]);
+        assert!(!delta2.class_space_stable());
+    }
+
+    #[test]
+    fn link_delta_tracks_globals_and_tu_count() {
+        let old = modules_of(&two_tus());
+        let mut new = old.clone();
+        let edited = format!("{HEADER}int touch(Counter* c) {{ return c->bump(); }}\nint knob = 3;");
+        new[1] = tu("b.cpp", &edited).0;
+        let delta = link_delta(&old, &new);
+        assert!(!delta.enums_and_globals_stable);
+        assert!(!delta.class_space_stable());
+        // Dropping a TU invalidates positionally.
+        let shorter = &old[..1];
+        let delta = link_delta(&old, shorter);
+        assert_eq!(delta.tus_changed, vec![1]);
+        assert!(!delta.enums_and_globals_stable);
     }
 }

@@ -31,6 +31,7 @@ use ddm_cppfront::ast::{ClassKind, FnType, FunctionKind, Type, TypeKind};
 use ddm_cppfront::{SourceMap, TranslationUnit};
 use ddm_telemetry::json::{self, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Version of the on-disk module format. Bumped on any incompatible
 /// codec change; entries with a different version are invalidated.
@@ -283,8 +284,11 @@ pub struct TuModule {
     pub file: String,
     /// FNV-1a hash of the TU source text.
     pub source_hash: u64,
-    /// Class definitions in declaration order.
-    pub classes: Vec<ClassRecord>,
+    /// Class definitions in declaration order. Shared (`Arc`) because
+    /// snapshot decoding materializes one record per distinct class
+    /// and every TU that repeats it (shared headers) references the
+    /// same allocation.
+    pub classes: Vec<Arc<ClassRecord>>,
     /// Enum definitions in declaration order.
     pub enums: Vec<EnumRecord>,
     /// Global variables in declaration order.
@@ -313,7 +317,7 @@ impl TuModule {
             .classes()
             .map(|(_, info)| {
                 let (line, col) = loc(info.span);
-                ClassRecord {
+                Arc::new(ClassRecord {
                     name: info.name.clone(),
                     kind: info.kind,
                     bases: info
@@ -352,7 +356,7 @@ impl TuModule {
                         .collect(),
                     line,
                     col,
-                }
+                })
             })
             .collect();
         let free_fns = program
@@ -418,7 +422,7 @@ impl TuModule {
             ("file".into(), Value::Str(self.file.clone())),
             (
                 "classes".into(),
-                Value::Arr(self.classes.iter().map(class_to_json).collect()),
+                Value::Arr(self.classes.iter().map(|c| class_to_json(c)).collect()),
             ),
             (
                 "enums".into(),
@@ -461,7 +465,7 @@ impl TuModule {
         let file = req_str(&v, "file")?.to_string();
         let classes = req_arr(&v, "classes")?
             .iter()
-            .map(class_from_json)
+            .map(|c| class_from_json(c).map(Arc::new))
             .collect::<Result<Vec<_>, _>>()?;
         let enums = req_arr(&v, "enums")?
             .iter()
@@ -496,8 +500,11 @@ impl TuModule {
     /// self-containment contract), so a failure here proves the entry
     /// was corrupted or hand-crafted.
     pub fn validate(&self) -> Result<(), String> {
-        let classes: HashMap<&str, &ClassRecord> =
-            self.classes.iter().map(|c| (c.name.as_str(), c)).collect();
+        let classes: HashMap<&str, &ClassRecord> = self
+            .classes
+            .iter()
+            .map(|c| (c.name.as_str(), &**c))
+            .collect();
         let free_fns: std::collections::HashSet<&str> =
             self.free_fns.iter().map(|f| f.name.as_str()).collect();
         let check_class = |name: &str| -> Result<&ClassRecord, String> {

@@ -194,6 +194,24 @@ pub struct ExecStats {
     pub cg_arena_bytes: u64,
     /// Distinct function-name symbols interned for dispatch caching.
     pub cg_interned_symbols: u64,
+    /// Project front-end wall time (hashing, cache probes, parsing,
+    /// summarizing, write-back) in nanoseconds. Single-TU runs: 0.
+    pub frontend_ns: u64,
+    /// Link phase wall time in nanoseconds (project runs only).
+    pub link_ns: u64,
+    /// Call-graph phase wall time in nanoseconds (project runs only).
+    pub callgraph_ns: u64,
+    /// Liveness phase wall time in nanoseconds (project runs only).
+    pub liveness_ns: u64,
+    /// Warm starts served by the persisted analysis snapshot (0 or 1).
+    pub snapshot_warm_starts: u64,
+    /// Reachable functions whose converged fixpoint facts were reused
+    /// from the snapshot instead of replayed.
+    pub snapshot_reused_fns: u64,
+    /// Size of the invalidation frontier the snapshot warm start
+    /// computed from the link delta (added + removed + changed
+    /// functions across changed TUs).
+    pub snapshot_frontier_fns: u64,
     /// Per-round delta-batch sizes of the call-graph fixpoint: entry `r`
     /// is how many worklist slots round `r` processed. Empty when no
     /// propagating build ran (e.g. the `Everything` algorithm).
@@ -202,7 +220,7 @@ pub struct ExecStats {
 
 impl ExecStats {
     /// Stable (key, value) view of the numeric fields, in rendering order.
-    pub fn rows(&self) -> [(&'static str, u64); 17] {
+    pub fn rows(&self) -> [(&'static str, u64); 24] {
         [
             ("jobs", self.jobs),
             ("bodies_walked", self.bodies_walked),
@@ -221,6 +239,13 @@ impl ExecStats {
             ("tus_summarized", self.tus_summarized),
             ("cg_arena_bytes", self.cg_arena_bytes),
             ("cg_interned_symbols", self.cg_interned_symbols),
+            ("frontend_ns", self.frontend_ns),
+            ("link_ns", self.link_ns),
+            ("callgraph_ns", self.callgraph_ns),
+            ("liveness_ns", self.liveness_ns),
+            ("snapshot_warm_starts", self.snapshot_warm_starts),
+            ("snapshot_reused_fns", self.snapshot_reused_fns),
+            ("snapshot_frontier_fns", self.snapshot_frontier_fns),
         ]
     }
 }

@@ -82,6 +82,46 @@ impl Histogram {
             .map(|(k, &c)| (k, c))
             .collect()
     }
+
+    /// Decomposes the histogram into `(nonzero buckets, count, sum)` for
+    /// external serialization (the analysis snapshot stores dispatch
+    /// histograms this way).
+    pub fn to_parts(&self) -> (Vec<(usize, u64)>, u64, u64) {
+        (self.nonzero_buckets(), self.total, self.sum)
+    }
+
+    /// Rebuilds a histogram from [`Histogram::to_parts`] output.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range bucket indices and a `count` that disagrees
+    /// with the bucket counts, so a corrupt snapshot cannot smuggle in an
+    /// inconsistent distribution.
+    pub fn from_parts(
+        buckets: &[(usize, u64)],
+        count: u64,
+        sum: u64,
+    ) -> Result<Histogram, String> {
+        let mut h = Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            total: count,
+            sum,
+        };
+        let mut total = 0u64;
+        for &(k, c) in buckets {
+            if k >= HISTOGRAM_BUCKETS {
+                return Err(format!("histogram bucket {k} out of range"));
+            }
+            h.counts[k] += c;
+            total += c;
+        }
+        if total != count {
+            return Err(format!(
+                "histogram bucket counts sum to {total}, expected {count}"
+            ));
+        }
+        Ok(h)
+    }
 }
 
 /// One registered metric.

@@ -1,9 +1,11 @@
-//! Cache robustness torture: the persistent TU-summary cache must
-//! survive crashes mid-write (fault injection via `DDM_CACHE_FAULT`)
-//! and two processes sharing one `--cache-dir` — in every case ending
-//! with output byte-identical to a cacheless cold run. The atomic
-//! temp-then-rename publish protocol guarantees no reader ever sees a
-//! torn `tu-<hash>.json`; dangling temps are swept on next open.
+//! Cache robustness torture: the persistent TU-summary cache and the
+//! analysis snapshot must survive crashes mid-write (fault injection
+//! via `DDM_CACHE_FAULT`) and two processes sharing one `--cache-dir`
+//! — in every case ending with output byte-identical to a cacheless
+//! cold run. The atomic temp-then-rename publish protocol guarantees
+//! no reader ever sees a torn `tu-<hash>.json` or `analysis.snap`;
+//! dangling temps are swept on next open, and a rejected snapshot
+//! (torn, version skew) degrades to a summary-cache-only warm start.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -177,6 +179,133 @@ fn concurrent_writers_sharing_one_cache_dir_agree_with_cold() {
     let warm = run(Some(&scratch.0), None);
     assert!(warm.status.success(), "{warm:?}");
     assert_eq!(warm.stdout, cacheless.stdout, "warm after race drifted");
+}
+
+/// Snapshot kill-mid-write: the process aborts halfway through writing
+/// `analysis.snap.tmp.<pid>`. No snapshot may be published, the
+/// summary-cache entries written earlier in the same run stay valid,
+/// and the next run warm-starts from them with the byte-identical
+/// cacheless report before sweeping the dangling snapshot temp.
+#[test]
+fn snapshot_kill_mid_write_falls_back_to_summary_cache() {
+    let cacheless = run(None, None);
+    assert!(cacheless.status.success(), "{cacheless:?}");
+
+    let scratch = Scratch::new("snapmid");
+    let faulted = run(Some(&scratch.0), Some("snap-kill-mid-write"));
+    assert!(!faulted.status.success(), "fault must abort the process");
+    assert!(
+        cache_files(&scratch.0, |n| n == "analysis.snap").is_empty(),
+        "a torn snapshot was published"
+    );
+    assert!(
+        !cache_files(&scratch.0, |n| n.starts_with("analysis.snap.tmp.")).is_empty(),
+        "the fault did not fire inside the snapshot write"
+    );
+    let summaries = cache_files(&scratch.0, |n| n.starts_with("tu-") && n.ends_with(".json"));
+    assert_eq!(
+        summaries.len(),
+        multi_fixture().len(),
+        "summary entries published before the snapshot must survive"
+    );
+
+    let recovered = run(Some(&scratch.0), None);
+    assert!(recovered.status.success(), "{recovered:?}");
+    assert_eq!(
+        recovered.stdout, cacheless.stdout,
+        "summary-cache-only warm start must match the cacheless report"
+    );
+    assert!(
+        cache_files(&scratch.0, |n| n.contains(".tmp.")).is_empty(),
+        "dangling snapshot temp was not swept"
+    );
+
+    // The recovery run republished a snapshot; prove it is wholly
+    // readable and serves the next run.
+    let bytes = std::fs::read(scratch.0.join("analysis.snap")).expect("republished snapshot");
+    dead_data_members::analysis::AnalysisSnapshot::decode(&bytes).expect("snapshot decodes");
+    let warm = run(Some(&scratch.0), None);
+    assert!(warm.status.success(), "{warm:?}");
+    assert_eq!(warm.stdout, cacheless.stdout);
+}
+
+/// Version skew: a snapshot from a different format version is
+/// rejected, the run falls back to the summary cache alone, prints the
+/// byte-identical cacheless report, and republishes a current-version
+/// snapshot.
+#[test]
+fn snapshot_version_skew_falls_back_to_summary_cache() {
+    let cacheless = run(None, None);
+    assert!(cacheless.status.success(), "{cacheless:?}");
+
+    let scratch = Scratch::new("snapskew");
+    let cold = run(Some(&scratch.0), None);
+    assert!(cold.status.success(), "{cold:?}");
+
+    let snap_path = scratch.0.join("analysis.snap");
+    let mut bytes = std::fs::read(&snap_path).expect("published snapshot");
+    // Bump the format version field (bytes 8..12, little-endian) to
+    // simulate a snapshot left behind by a newer build.
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    bytes[8..12].copy_from_slice(&(version + 1).to_le_bytes());
+    std::fs::write(&snap_path, &bytes).expect("plant skewed snapshot");
+
+    let skewed = run(Some(&scratch.0), None);
+    assert!(skewed.status.success(), "{skewed:?}");
+    assert_eq!(
+        skewed.stdout, cacheless.stdout,
+        "version-skew fallback must match the cacheless report"
+    );
+
+    let republished = std::fs::read(&snap_path).expect("republished snapshot");
+    dead_data_members::analysis::AnalysisSnapshot::decode(&republished)
+        .expect("skewed snapshot must be replaced by a readable one");
+}
+
+/// Two processes race on one `--cache-dir`, both publishing snapshots.
+/// Whatever interleaving happens, `analysis.snap` must never be torn:
+/// it either decodes cleanly or does not exist, and warm runs agree
+/// with the cacheless report.
+#[test]
+fn concurrent_writers_never_publish_a_torn_snapshot() {
+    let cacheless = run(None, None);
+    assert!(cacheless.status.success(), "{cacheless:?}");
+
+    let scratch = Scratch::new("snaprace");
+    for round in 0..3 {
+        let _ = std::fs::remove_dir_all(&scratch.0);
+        let spawn = || {
+            let mut cmd = ddm();
+            for f in multi_fixture() {
+                cmd.arg(f);
+            }
+            cmd.arg("--engine")
+                .arg("summary")
+                .arg("--cache-dir")
+                .arg(&scratch.0)
+                .env_remove("DDM_CACHE_FAULT")
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn ddm")
+        };
+        let a = spawn().wait_with_output().expect("wait a");
+        let b = spawn().wait_with_output().expect("wait b");
+        assert!(a.status.success(), "round {round} writer A: {a:?}");
+        assert!(b.status.success(), "round {round} writer B: {b:?}");
+
+        let bytes = std::fs::read(scratch.0.join("analysis.snap"))
+            .expect("a snapshot must be published after both writers finish");
+        dead_data_members::analysis::AnalysisSnapshot::decode(&bytes)
+            .unwrap_or_else(|e| panic!("round {round}: torn snapshot: {e}"));
+
+        let warm = run(Some(&scratch.0), None);
+        assert!(warm.status.success(), "{warm:?}");
+        assert_eq!(
+            warm.stdout, cacheless.stdout,
+            "round {round}: warm run after the race drifted"
+        );
+    }
 }
 
 /// A dangling temp file from a dead writer (any PID, any content) is

@@ -208,9 +208,15 @@ fn damaged_entries_are_recovered(test: &str, f: impl Fn(&str) -> String) {
     let cold = run(&inputs, Engine::Summary, 1, Some(scratch.path()), &cold_tel);
     let cold_art = artifacts(&cold, &cold_tel);
 
+    // Damage the per-TU summary entries and drop the analysis snapshot:
+    // this test proves the JSON probe's detect-and-recompute path, which
+    // a surviving snapshot would otherwise short-circuit (snapshot
+    // damage has its own torture tests).
+    let _ = std::fs::remove_file(scratch.path().join("analysis.snap"));
     let entries: Vec<PathBuf> = std::fs::read_dir(scratch.path())
         .unwrap()
         .map(|e| e.unwrap().path())
+        .filter(|p| p.to_string_lossy().ends_with(".json"))
         .collect();
     assert_eq!(entries.len(), 3);
     for path in &entries {

@@ -153,6 +153,86 @@ echo "== scale bench smoke (gating: wall-clock ceiling enforced in-binary) =="
 cargo run --release -p ddm-bench --bin bench_scale -- --smoke --json > /dev/null
 test -s BENCH_scale_smoke.json
 
+echo "== serve smoke: epoch swap, incremental rebuild, one-shot byte-identity =="
+cargo test --release --test serve_determinism
+# Drive a live daemon over a FIFO: analyze 24 TUs, query, edit one TU,
+# notify, re-query. Each report response must be byte-identical to a
+# fresh one-shot run at that file state; the rebuild must take the
+# incremental path (snapshot_loaded in the epoch log, warm starts >= 1)
+# and finish faster than the cold analyze; shutdown must exit 0.
+serve_src=/tmp/ddm_ci_serve_src
+serve_tmp=/tmp/ddm_ci_serve
+rm -rf "$serve_src" "$serve_tmp"
+mkdir -p "$serve_src" "$serve_tmp"
+protos=""
+calls=""
+for i in $(seq 1 23); do
+    nn=$(printf '%02d' "$i")
+    printf 'class C%s { public: C%s() : a(0), b(0) { } int get() { return a; } int a; int b; };\nint f%d() { C%s o; return o.get(); }\n' \
+        "$nn" "$nn" "$i" "$nn" > "$serve_src/tu$nn.cpp"
+    protos="$protos int f$i();"
+    calls="$calls + f$i()"
+done
+printf '%s\nint main() { return 0%s; }\n' "$protos" "$calls" > "$serve_src/main.cpp"
+
+cargo run --release --bin ddm -- "$serve_src"/*.cpp --engine summary --jobs 8 \
+    > "$serve_tmp/oneshot_a.out"
+
+mkfifo "$serve_tmp/requests"
+target/release/ddm serve --engine summary --jobs 8 \
+    --cache-dir "$serve_tmp/cache" --log-out "$serve_tmp/epochs.ndjson" \
+    < "$serve_tmp/requests" > "$serve_tmp/responses" &
+serve_pid=$!
+exec 9> "$serve_tmp/requests"
+
+await_responses() {
+    for _ in $(seq 1 600); do
+        test "$(wc -l < "$serve_tmp/responses")" -ge "$1" && return 0
+        sleep 0.1
+    done
+    echo "serve smoke: timed out waiting for $1 responses" >&2
+    return 1
+}
+response_field() { # response_field <line> <field> -> stdout
+    python3 -c 'import json,sys
+resp = json.loads(open(sys.argv[1]).readlines()[int(sys.argv[2]) - 1])
+value = resp[sys.argv[3]]
+sys.stdout.write(value if isinstance(value, str) else str(value))' \
+        "$serve_tmp/responses" "$1" "$2"
+}
+
+python3 -c 'import json,glob,sys
+print(json.dumps({"cmd": "analyze", "files": sorted(glob.glob(sys.argv[1] + "/*.cpp"))}))' \
+    "$serve_src" >&9
+printf '{"cmd":"report"}\n{"cmd":"epoch"}\n' >&9
+await_responses 3
+grep -q '"ok":true,"cmd":"analyze","epoch":1,"tus":24' "$serve_tmp/responses"
+response_field 2 output > "$serve_tmp/serve_a.out"
+cmp "$serve_tmp/serve_a.out" "$serve_tmp/oneshot_a.out"
+cold_ns=$(response_field 3 build_ns)
+
+# Edit one TU of 24 (livens C01::b), oracle the new state, notify.
+printf 'class C01 { public: C01() : a(0), b(0) { } int get() { return a; } int a; int b; };\nint f1() { C01 o; return o.get() + o.b; }\n' \
+    > "$serve_src/tu01.cpp"
+cargo run --release --bin ddm -- "$serve_src"/*.cpp --engine summary --jobs 8 \
+    > "$serve_tmp/oneshot_b.out"
+printf '{"cmd":"notify","changed":["%s/tu01.cpp"],"wait":1}\n' "$serve_src" >&9
+printf '{"cmd":"report"}\n{"cmd":"epoch"}\n{"cmd":"shutdown"}\n' >&9
+await_responses 7
+grep -q '"ok":true,"cmd":"notify","epoch":2' "$serve_tmp/responses"
+response_field 5 output > "$serve_tmp/serve_b.out"
+cmp "$serve_tmp/serve_b.out" "$serve_tmp/oneshot_b.out"
+test "$(response_field 6 epoch)" = 2
+test "$(response_field 6 snapshot_warm_starts)" -ge 1
+warm_ns=$(response_field 6 build_ns)
+test "$warm_ns" -lt "$cold_ns"
+# The epoch log must show the incremental path and both publishes.
+grep -q '"event":"snapshot_loaded"' "$serve_tmp/epochs.ndjson"
+test "$(grep -c '"event":"epoch_published"' "$serve_tmp/epochs.ndjson")" = 2
+exec 9>&-
+wait "$serve_pid"
+rm -rf "$serve_src" "$serve_tmp"
+
 echo "== bench report: counter-baseline regression gate (hard-fail on drift) =="
 # Recomputes the 11 suite programs' deterministic counters in-process
 # and diffs them against the committed golden baselines; timings are

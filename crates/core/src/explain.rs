@@ -12,6 +12,48 @@ use crate::liveness::{LiveReason, Liveness, Origin};
 use ddm_callgraph::CallGraph;
 use ddm_hierarchy::{FuncId, MemberRef, Program};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Why an `--explain` spec could not be answered. The two variants are
+/// the client-facing distinction daemon consumers need: a
+/// [`ExplainError::BadRequest`] is a malformed query (fix the request),
+/// a [`ExplainError::NotFound`] is a well-formed query that names
+/// nothing in the program (fix the name, or the program changed). The
+/// rendered messages are stable — tests pin them — and distinct between
+/// the variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExplainError {
+    /// The spec itself is malformed (no `::` separator).
+    BadRequest(String),
+    /// The spec parses, but the class or member does not exist.
+    NotFound(String),
+}
+
+impl ExplainError {
+    /// The stable message text (what [`fmt::Display`] renders).
+    pub fn message(&self) -> &str {
+        match self {
+            ExplainError::BadRequest(m) | ExplainError::NotFound(m) => m,
+        }
+    }
+
+    /// The protocol error-kind tag serve mode reports
+    /// (`"bad_request"` / `"not_found"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExplainError::BadRequest(_) => "bad_request",
+            ExplainError::NotFound(_) => "not_found",
+        }
+    }
+}
+
+impl fmt::Display for ExplainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+impl std::error::Error for ExplainError {}
 
 /// The shortest path `main -> ... -> target` in the call graph, or `None`
 /// when `target` is reachable only by a conservative root assumption
@@ -55,14 +97,15 @@ pub fn witness_path(program: &Program, callgraph: &CallGraph, target: FuncId) ->
 ///
 /// # Errors
 ///
-/// Returns a message naming the unknown class or member when `spec` does
-/// not resolve against `program`.
+/// [`ExplainError::BadRequest`] when `spec` is not of the form
+/// `Class::member`; [`ExplainError::NotFound`] when it is but names no
+/// class or data member of `program`.
 pub fn explain(
     program: &Program,
     callgraph: &CallGraph,
     liveness: &Liveness,
     spec: &str,
-) -> Result<String, String> {
+) -> Result<String, ExplainError> {
     let member = resolve_spec(program, spec)?;
     let label = member_label(program, member);
     let mut out = String::new();
@@ -211,19 +254,23 @@ fn member_label(program: &Program, member: MemberRef) -> String {
 }
 
 /// Resolves a `Class::member` spec against the program.
-fn resolve_spec(program: &Program, spec: &str) -> Result<MemberRef, String> {
-    let (class_name, member_name) = spec
-        .split_once("::")
-        .ok_or_else(|| format!("invalid member spec '{spec}': expected Class::member"))?;
+fn resolve_spec(program: &Program, spec: &str) -> Result<MemberRef, ExplainError> {
+    let (class_name, member_name) = spec.split_once("::").ok_or_else(|| {
+        ExplainError::BadRequest(format!("invalid member spec '{spec}': expected Class::member"))
+    })?;
     let cid = program
         .class_by_name(class_name)
-        .ok_or_else(|| format!("unknown class '{class_name}'"))?;
+        .ok_or_else(|| ExplainError::NotFound(format!("unknown class '{class_name}'")))?;
     let idx = program
         .class(cid)
         .members
         .iter()
         .position(|m| m.name == member_name)
-        .ok_or_else(|| format!("class '{class_name}' has no data member '{member_name}'"))?;
+        .ok_or_else(|| {
+            ExplainError::NotFound(format!(
+                "class '{class_name}' has no data member '{member_name}'"
+            ))
+        })?;
     Ok(MemberRef::new(cid, idx))
 }
 
@@ -288,5 +335,53 @@ mod tests {
         assert!(explain(run.program(), run.callgraph(), run.liveness(), "A::nope").is_err());
         assert!(explain(run.program(), run.callgraph(), run.liveness(), "Nope::m").is_err());
         assert!(explain(run.program(), run.callgraph(), run.liveness(), "plain").is_err());
+    }
+
+    #[test]
+    fn malformed_and_unknown_specs_are_distinct_stable_errors_in_both_engines() {
+        use crate::analysis::AnalysisConfig;
+        use crate::pipeline::Engine;
+        use ddm_callgraph::Algorithm;
+
+        let src = "class A { public: int m; }; int main() { A a; return a.m; }";
+        for engine in [Engine::Walk, Engine::Summary] {
+            let run = AnalysisPipeline::with_config_engine(
+                src,
+                AnalysisConfig::default(),
+                Algorithm::Rta,
+                1,
+                engine,
+            )
+            .expect("pipeline");
+            let at = |spec: &str| {
+                explain(run.program(), run.callgraph(), run.liveness(), spec).unwrap_err()
+            };
+
+            let malformed = at("plain");
+            assert_eq!(malformed.kind(), "bad_request", "engine={engine}");
+            assert_eq!(
+                malformed.to_string(),
+                "invalid member spec 'plain': expected Class::member",
+                "engine={engine}"
+            );
+
+            let no_class = at("Nope::m");
+            assert_eq!(no_class.kind(), "not_found", "engine={engine}");
+            assert_eq!(no_class.to_string(), "unknown class 'Nope'", "engine={engine}");
+
+            let no_member = at("A::nope");
+            assert_eq!(no_member.kind(), "not_found", "engine={engine}");
+            assert_eq!(
+                no_member.to_string(),
+                "class 'A' has no data member 'nope'",
+                "engine={engine}"
+            );
+
+            assert_ne!(
+                malformed.to_string(),
+                no_member.to_string(),
+                "clients must be able to tell bad request from not found"
+            );
+        }
     }
 }

@@ -24,11 +24,13 @@
 
 pub mod analysis;
 pub mod eliminate;
+pub mod epoch;
 pub mod explain;
 pub mod liveness;
 pub mod pipeline;
 pub mod project;
 pub mod report;
+pub mod serve;
 pub mod snapshot;
 
 pub use analysis::{
@@ -36,11 +38,13 @@ pub use analysis::{
     SEQUENTIAL_SCAN_THRESHOLD,
 };
 pub use eliminate::{eliminate, eliminate_with, Elimination, KeepReason};
-pub use explain::{explain, witness_path};
+pub use epoch::{EpochCell, EpochSnapshot};
+pub use explain::{explain, witness_path, ExplainError};
 pub use liveness::{LiveReason, Liveness, LivenessParts, Origin};
 pub use pipeline::{AnalysisPipeline, Engine, PipelineError};
 pub use project::{config_fingerprint, ProjectError, ProjectPipeline};
-pub use report::{ClassReport, Report};
+pub use report::{render_analysis, ClassReport, Report};
+pub use serve::{serve, ServeOptions};
 pub use snapshot::{
     snapshot_fingerprint, AnalysisSnapshot, SNAPSHOT_FILE, SNAPSHOT_FORMAT_VERSION,
 };

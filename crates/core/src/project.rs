@@ -27,6 +27,7 @@
 //! injects crashes into the write path for the torture tests.
 
 use crate::analysis::{replay_liveness_telemetry, AnalysisConfig, DeadMemberAnalysis};
+use crate::epoch::EpochSnapshot;
 use crate::liveness::Liveness;
 use crate::pipeline::{emit_classification_event, Engine, PipelineError};
 use crate::report::Report;
@@ -43,6 +44,7 @@ use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Any error a project run can produce.
@@ -80,16 +82,15 @@ impl Error for ProjectError {
 }
 
 /// A completed multi-TU analysis run.
+///
+/// Since the epoch refactor this is a thin handle over an immutable
+/// [`EpochSnapshot`] behind an `Arc`: one-shot callers keep the same
+/// accessor surface they always had, while serve mode takes the
+/// snapshot itself ([`ProjectPipeline::snapshot`]) and shares it across
+/// reader threads.
 #[derive(Debug)]
 pub struct ProjectPipeline {
-    sources: SourceSet,
-    files: Vec<String>,
-    linked: LinkedProgram,
-    callgraph: CallGraph,
-    liveness: Liveness,
-    used: HashSet<ClassId>,
-    config: AnalysisConfig,
-    engine: Engine,
+    snapshot: Arc<EpochSnapshot>,
 }
 
 /// The configuration fingerprint stored in every cache envelope. Only
@@ -170,11 +171,33 @@ fn publish_entry(dir: &Path, source_hash: u64, doc: &str) {
     }
 }
 
+/// Minimum age (by mtime) before [`sweep_dangling_temps`] removes a
+/// dangling temp. A temp younger than this may belong to a live sibling
+/// writer mid-publish — deleting it would kill that writer's rename and
+/// force a recompute, which a daemon re-probing every epoch would do
+/// constantly. A crashed writer's temp ages past the gate and is
+/// collected on a later open; until then it is harmless garbage.
+const TEMP_SWEEP_MIN_AGE: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// Whether a dangling temp is old enough to sweep. Falls back to
+/// sweeping (the historical behavior) when the filesystem reports no
+/// mtime; a temp whose mtime sits in the future is treated as fresh.
+fn temp_old_enough(entry: &std::fs::DirEntry) -> bool {
+    let Ok(modified) = entry.metadata().and_then(|m| m.modified()) else {
+        return true;
+    };
+    match std::time::SystemTime::now().duration_since(modified) {
+        Ok(age) => age >= TEMP_SWEEP_MIN_AGE,
+        Err(_) => false,
+    }
+}
+
 /// Removes dangling `tu-*.json.tmp.*` and `analysis.snap.tmp.*` files
 /// left by a crashed writer. Runs when a cache directory is opened for
-/// probing; racing against a live concurrent writer is harmless — the
-/// victim's rename fails and its entry is simply recomputed on its next
-/// run.
+/// probing. Only temps older than [`TEMP_SWEEP_MIN_AGE`] are removed,
+/// so a live concurrent writer's in-flight temp survives the probe and
+/// its rename still publishes; fresh temps are skipped silently and
+/// collected by a later open once they age past the gate.
 fn sweep_dangling_temps(dir: &Path, telemetry: &Telemetry) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
@@ -184,6 +207,9 @@ fn sweep_dangling_temps(dir: &Path, telemetry: &Telemetry) {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if (name.starts_with("tu-") && name.contains(".json.tmp")) || name.starts_with(&snap_tmp) {
+            if !temp_old_enough(&entry) {
+                continue;
+            }
             let _ = std::fs::remove_file(entry.path());
             telemetry.event(EventClass::Observational, "cache_temp_swept", || {
                 vec![("temp", name.as_ref().into())]
@@ -282,6 +308,34 @@ impl ProjectPipeline {
         cache_dir: Option<&Path>,
         telemetry: &Telemetry,
     ) -> Result<ProjectPipeline, ProjectError> {
+        Self::run_epoch(inputs, config, algorithm, jobs, engine, cache_dir, telemetry, 0)
+            .map(|snapshot| ProjectPipeline { snapshot })
+    }
+
+    /// [`ProjectPipeline::run`] for serve mode: the same pipeline, but
+    /// the result is returned as a bare [`EpochSnapshot`] stamped with
+    /// `epoch`, ready to publish through an
+    /// [`EpochCell`](crate::EpochCell).
+    ///
+    /// The snapshot stores the deterministic counters read off
+    /// `telemetry` at the end of the run, so a serve builder should pass
+    /// a fresh handle per epoch (a handle shared across runs would
+    /// accumulate).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`ProjectPipeline::run`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_epoch(
+        inputs: &[(String, String)],
+        config: AnalysisConfig,
+        algorithm: Algorithm,
+        jobs: usize,
+        engine: Engine,
+        cache_dir: Option<&Path>,
+        telemetry: &Telemetry,
+        epoch: u64,
+    ) -> Result<Arc<EpochSnapshot>, ProjectError> {
         let walks_before = body_walk_count();
         let fingerprint = config_fingerprint(algorithm);
         let refine = algorithm == Algorithm::Pta;
@@ -906,7 +960,8 @@ impl ProjectPipeline {
         for (file, source) in inputs {
             sources.push(SourceMap::new(file.clone(), source.clone()));
         }
-        Ok(ProjectPipeline {
+        Ok(Arc::new(EpochSnapshot {
+            epoch,
             sources,
             files: inputs.iter().map(|(f, _)| f.clone()).collect(),
             linked,
@@ -915,57 +970,64 @@ impl ProjectPipeline {
             used,
             config,
             engine,
-        })
+            counters: telemetry.counters(),
+        }))
+    }
+
+    /// A shared handle to the underlying immutable snapshot (a refcount
+    /// bump — this is what serve-mode readers clone per query).
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.snapshot)
     }
 
     /// The per-TU source maps, in input order.
     pub fn sources(&self) -> &SourceSet {
-        &self.sources
+        self.snapshot.sources()
     }
 
     /// The input file names, in input order.
     pub fn files(&self) -> &[String] {
-        &self.files
+        self.snapshot.files()
     }
 
     /// The linked whole-program view with its per-TU provenance.
     pub fn linked(&self) -> &LinkedProgram {
-        &self.linked
+        self.snapshot.linked()
     }
 
     /// The linked program model.
     pub fn program(&self) -> &Program {
-        self.linked.program()
+        self.snapshot.program()
     }
 
     /// The call graph that scoped the analysis.
     pub fn callgraph(&self) -> &CallGraph {
-        &self.callgraph
+        self.snapshot.callgraph()
     }
 
     /// The per-member classification.
     pub fn liveness(&self) -> &Liveness {
-        &self.liveness
+        self.snapshot.liveness()
     }
 
     /// The used-class set.
     pub fn used(&self) -> &HashSet<ClassId> {
-        &self.used
+        self.snapshot.used()
     }
 
     /// The configuration the run used.
     pub fn config(&self) -> &AnalysisConfig {
-        &self.config
+        self.snapshot.config()
     }
 
     /// The engine the run used.
     pub fn engine(&self) -> Engine {
-        self.engine
+        self.snapshot.engine()
     }
 
     /// Builds the report over the linked program.
     pub fn report(&self) -> Report {
-        Report::new(self.linked.program(), &self.liveness, &self.used)
+        self.snapshot.report()
     }
 }
 

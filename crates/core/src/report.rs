@@ -1,9 +1,71 @@
 //! Human- and machine-readable analysis reports.
 
 use crate::liveness::{LiveReason, Liveness};
+use ddm_callgraph::CallGraph;
 use ddm_hierarchy::{ClassId, MemberRef, Program};
 use std::collections::HashSet;
 use std::fmt;
+
+/// Renders the full analysis output — the report, the call-graph
+/// summary line, and (optionally) the per-class layout table — exactly
+/// as the `ddm` CLI prints it to stdout. Serve mode answers `report`
+/// queries through this same function, which is what makes its
+/// responses byte-identical to a one-shot CLI run by construction
+/// rather than by parallel maintenance.
+pub fn render_analysis(
+    program: &Program,
+    callgraph: &CallGraph,
+    liveness: &Liveness,
+    report: &Report,
+    layout: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{report}");
+    let _ = writeln!(
+        out,
+        "call graph ({}): {} reachable functions, {} edges",
+        callgraph.algorithm(),
+        callgraph.reachable_count(),
+        callgraph.edge_count()
+    );
+
+    if layout {
+        use ddm_hierarchy::LayoutEngine;
+        let layouts = LayoutEngine::new(program);
+        for (cid, class) in program.classes() {
+            let layout = layouts.layout(cid);
+            let _ = writeln!(
+                out,
+                "layout {} : size {} align {}{}{}",
+                class.name,
+                layout.size,
+                layout.align,
+                if layout.has_vptr { ", vptr" } else { "" },
+                if layout.overhead > 0 {
+                    format!(", {} overhead bytes", layout.overhead)
+                } else {
+                    String::new()
+                }
+            );
+            for slot in &layout.fields {
+                let owner = &program.class(slot.member.class).name;
+                let member = &program.class(slot.member.class).members[slot.member.index as usize];
+                let marker = if liveness.is_dead(slot.member) {
+                    " [DEAD]"
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "    +{:<4} {:<4} {}::{}{}",
+                    slot.offset, slot.size, owner, member.name, marker
+                );
+            }
+        }
+    }
+    out
+}
 
 /// Statistics for one class.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -20,10 +20,13 @@
 //!
 //! The log is bounded per class ([`EVENT_LOG_CAP`]): once a class's
 //! buffer is full, further events of that class are counted, not
-//! stored, and the rendered stream ends with an `events_dropped`
-//! record. Bounding per class keeps the deterministic stream's
-//! truncation point itself deterministic — observational traffic can
-//! never push a deterministic event out of the log.
+//! stored, and the rendered stream ends with a `log_truncated`
+//! record carrying the lost count. Bounding per class keeps the
+//! deterministic stream's truncation point itself deterministic —
+//! observational traffic can never push a deterministic event out of
+//! the log. Long-running consumers (`ddm serve`) drain the log once
+//! per epoch via [`EventLog::clear`], so the bound applies per epoch,
+//! not per process lifetime.
 
 use crate::json;
 
@@ -205,8 +208,9 @@ impl EventLog {
     }
 
     /// Renders the selected classes as NDJSON: one event per line, the
-    /// deterministic stream first, a final `events_dropped` line per
-    /// truncated class. `filter = None` renders both classes.
+    /// deterministic stream first, a final `log_truncated` line per
+    /// truncated class (carrying the lost-event count) so truncation is
+    /// never silent. `filter = None` renders both classes.
     pub fn render_ndjson(&self, filter: Option<EventClass>) -> String {
         let mut out = String::new();
         for class in [EventClass::Deterministic, EventClass::Observational] {
@@ -220,12 +224,33 @@ impl EventLog {
             let dropped = self.dropped(class);
             if dropped > 0 {
                 out.push_str(&format!(
-                    "{{\"class\":\"{}\",\"event\":\"events_dropped\",\"count\":{dropped}}}\n",
+                    "{{\"class\":\"{}\",\"event\":\"log_truncated\",\"count\":{dropped}}}\n",
                     class.tag()
                 ));
             }
         }
         out
+    }
+
+    /// Total dropped events across both classes.
+    pub fn total_dropped(&self) -> u64 {
+        self.det_dropped + self.obs_dropped
+    }
+
+    /// Zeroes the dropped-event counters (the caller has accounted for
+    /// them, e.g. folded them into a stat).
+    pub fn reset_dropped(&mut self) {
+        self.det_dropped = 0;
+        self.obs_dropped = 0;
+    }
+
+    /// Empties both buffers and resets the dropped counters, so the next
+    /// push starts a fresh log with per-class sequence numbers from 0.
+    /// Used by per-epoch draining: render, then clear.
+    pub fn clear(&mut self) {
+        self.det.clear();
+        self.obs.clear();
+        self.reset_dropped();
     }
 }
 
@@ -281,7 +306,24 @@ mod tests {
         assert_eq!(log.dropped(EventClass::Observational), 3);
         assert_eq!(log.of_class(EventClass::Deterministic).len(), 1);
         let text = log.render_ndjson(None);
-        assert!(text.contains("\"event\":\"events_dropped\",\"count\":3"));
+        assert!(text.contains("\"event\":\"log_truncated\",\"count\":3"));
+        assert_eq!(log.total_dropped(), 3);
+    }
+
+    #[test]
+    fn clear_resets_buffers_dropped_counts_and_sequences() {
+        let mut log = EventLog::default();
+        for _ in 0..EVENT_LOG_CAP + 2 {
+            log.push(EventClass::Observational, "spam", 0, Vec::new());
+        }
+        log.push(EventClass::Deterministic, "kept", 0, Vec::new());
+        log.clear();
+        assert_eq!(log.of_class(EventClass::Observational).len(), 0);
+        assert_eq!(log.of_class(EventClass::Deterministic).len(), 0);
+        assert_eq!(log.total_dropped(), 0);
+        log.push(EventClass::Observational, "fresh", 0, Vec::new());
+        assert_eq!(log.of_class(EventClass::Observational)[0].seq, 0);
+        assert!(!log.render_ndjson(None).contains("log_truncated"));
     }
 
     #[test]

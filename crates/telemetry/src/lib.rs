@@ -123,6 +123,18 @@ impl Counters {
         ]
     }
 
+    /// Renders the counters as the aligned key/value rows printed under
+    /// the `== deterministic counters ==` heading of `--stats`. The
+    /// serve-mode `stats` query renders through the same helper, so the
+    /// two surfaces cannot drift byte-wise.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in self.rows() {
+            out.push_str(&format!("{key:<44} {value:>12}\n"));
+        }
+        out
+    }
+
     fn rows_mut(&mut self) -> [(&'static str, &mut u64); 16] {
         [
             ("reachable_functions", &mut self.reachable_functions),
@@ -212,6 +224,10 @@ pub struct ExecStats {
     /// computed from the link delta (added + removed + changed
     /// functions across changed TUs).
     pub snapshot_frontier_fns: u64,
+    /// Flight-recorder events lost to the per-class log bound
+    /// ([`events::EVENT_LOG_CAP`]), accumulated across drains. Nonzero
+    /// means the NDJSON stream ended with a `log_truncated` record.
+    pub events_dropped: u64,
     /// Per-round delta-batch sizes of the call-graph fixpoint: entry `r`
     /// is how many worklist slots round `r` processed. Empty when no
     /// propagating build ran (e.g. the `Everything` algorithm).
@@ -220,7 +236,7 @@ pub struct ExecStats {
 
 impl ExecStats {
     /// Stable (key, value) view of the numeric fields, in rendering order.
-    pub fn rows(&self) -> [(&'static str, u64); 24] {
+    pub fn rows(&self) -> [(&'static str, u64); 25] {
         [
             ("jobs", self.jobs),
             ("bodies_walked", self.bodies_walked),
@@ -246,6 +262,7 @@ impl ExecStats {
             ("snapshot_warm_starts", self.snapshot_warm_starts),
             ("snapshot_reused_fns", self.snapshot_reused_fns),
             ("snapshot_frontier_fns", self.snapshot_frontier_fns),
+            ("events_dropped", self.events_dropped),
         ]
     }
 }
@@ -405,6 +422,38 @@ impl Telemetry {
                 .expect(POISONED)
                 .events
                 .render_ndjson(filter),
+        }
+    }
+
+    /// Renders the flight recorder like [`Telemetry::events_ndjson`],
+    /// then clears the log so the next epoch starts from an empty buffer
+    /// with fresh per-class sequence numbers. Any events lost to the
+    /// per-class bound are folded into the `events_dropped` execution
+    /// stat before the reset (the rendered text already ends with their
+    /// `log_truncated` record). This is how long-running consumers keep
+    /// `--log-out` complete across arbitrarily many epochs: drain once
+    /// per epoch instead of letting one bounded buffer span the process.
+    pub fn drain_events_ndjson(&self, filter: Option<EventClass>) -> String {
+        match &self.inner {
+            None => String::new(),
+            Some(inner) => {
+                let mut c = inner.collected.lock().expect(POISONED);
+                let text = c.events.render_ndjson(filter);
+                c.stats.events_dropped += c.events.total_dropped();
+                c.events.clear();
+                text
+            }
+        }
+    }
+
+    /// Folds the current dropped-event counts into the `events_dropped`
+    /// stat without rendering or clearing the log — the `--stats`-only
+    /// path, where nobody drains before the table renders.
+    pub fn sync_events_dropped(&self) {
+        if let Some(inner) = &self.inner {
+            let mut c = inner.collected.lock().expect(POISONED);
+            c.stats.events_dropped += c.events.total_dropped();
+            c.events.reset_dropped();
         }
     }
 
@@ -625,9 +674,7 @@ impl Telemetry {
             ));
         }
         out.push_str("== deterministic counters ==\n");
-        for (key, value) in self.counters().rows() {
-            out.push_str(&format!("{key:<44} {value:>12}\n"));
-        }
+        out.push_str(&self.counters().render_table());
         out.push_str("== execution stats ==\n");
         let stats = self.stats();
         out.push_str(&format!("{:<44} {:>12}\n", "engine", stats.engine));
@@ -787,6 +834,41 @@ mod tests {
         assert!(trace.contains("\"main\""));
         assert!(trace.contains("\"worker-1\""));
         assert!(trace.contains("thread_name"));
+    }
+
+    #[test]
+    fn drain_resets_the_log_and_accumulates_the_dropped_stat() {
+        let t = Telemetry::recording();
+        for _ in 0..events::EVENT_LOG_CAP + 5 {
+            t.event(EventClass::Observational, "spam", Vec::new);
+        }
+        let first = t.drain_events_ndjson(None);
+        assert!(first.contains("\"event\":\"log_truncated\",\"count\":5"));
+        assert_eq!(t.stats().events_dropped, 5);
+        t.event(EventClass::Observational, "fresh", Vec::new);
+        let second = t.drain_events_ndjson(None);
+        assert!(second.contains("\"event\":\"fresh\""));
+        assert!(second.contains("\"seq\":0"), "sequences restart per drain");
+        assert!(!second.contains("log_truncated"));
+        assert_eq!(t.stats().events_dropped, 5, "stat is cumulative, not re-counted");
+    }
+
+    #[test]
+    fn sync_events_dropped_updates_the_stat_without_clearing() {
+        let t = Telemetry::recording();
+        for _ in 0..events::EVENT_LOG_CAP + 2 {
+            t.event(EventClass::Deterministic, "spam", Vec::new);
+        }
+        t.sync_events_dropped();
+        assert_eq!(t.stats().events_dropped, 2);
+        assert_eq!(
+            t.events().len(),
+            events::EVENT_LOG_CAP,
+            "sync leaves the buffered events in place"
+        );
+        // A second sync with no new drops must not double-count.
+        t.sync_events_dropped();
+        assert_eq!(t.stats().events_dropped, 2);
     }
 
     #[test]

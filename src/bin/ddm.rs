@@ -5,13 +5,13 @@
 //! parser cannot drift apart.
 
 use dead_data_members::analysis::{
-    eliminate_with, explain, AnalysisConfig, AnalysisPipeline, Engine, ProjectPipeline,
-    SizeofPolicy,
+    eliminate_with, explain, render_analysis, serve, AnalysisConfig, AnalysisPipeline, Engine,
+    ProjectPipeline, ServeOptions, SizeofPolicy,
 };
-use dead_data_members::callgraph::{Algorithm, CallGraph};
+use dead_data_members::callgraph::Algorithm;
 use dead_data_members::dynamic::{profile_trace, Interpreter, RunConfig};
-use dead_data_members::hierarchy::Program;
 use dead_data_members::telemetry::{EventClass, Telemetry};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// The flag table: `(flag, value placeholder, help)`. Every flag the
@@ -105,7 +105,13 @@ const FLAGS: &[(&str, &str, &str)] = &[
 
 /// The usage text, rendered from [`FLAGS`].
 fn usage() -> String {
-    let mut out = String::from("usage: ddm <file.cpp> [more.cpp ...] [options]\n\noptions:\n");
+    let mut out = String::from(
+        "usage: ddm <file.cpp> [more.cpp ...] [options]\n       \
+         ddm serve [--cache-dir <dir>] [--jobs <N>] [options]\n\n\
+         serve mode reads line-delimited JSON requests on stdin (analyze, notify,\n\
+         report, explain, stats, epoch, shutdown) and answers one line per request;\n\
+         see the README's \"Server mode\" section for the protocol.\n\noptions:\n",
+    );
     let width = FLAGS
         .iter()
         .map(|(name, arg, _)| name.len() + if arg.is_empty() { 0 } else { arg.len() + 1 })
@@ -123,6 +129,8 @@ fn usage() -> String {
 }
 
 struct Options {
+    /// `ddm serve`: long-running daemon mode (no positional files).
+    serve: bool,
     files: Vec<String>,
     algorithm: Algorithm,
     engine: Engine,
@@ -162,6 +170,7 @@ fn take_value(
 fn parse_args() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let mut opts = Options {
+        serve: false,
         files: Vec::new(),
         algorithm: Algorithm::Rta,
         engine: Engine::default(),
@@ -257,11 +266,38 @@ fn parse_args() -> Result<Options, String> {
                 opts.cache_dir = Some(take_value(&mut args, "--cache-dir")?);
             }
             "--help" | "-h" => return Err("help".to_string()),
+            "serve" if !opts.serve && opts.files.is_empty() => opts.serve = true,
             other if !other.starts_with('-') => {
                 opts.files.push(other.to_string());
             }
             other => return Err(format!("unknown flag `{other}` (see --help)")),
         }
+    }
+    if opts.serve {
+        if !opts.files.is_empty() {
+            return Err(format!(
+                "serve mode takes no input files (got `{}`); send them in an analyze request",
+                opts.files[0]
+            ));
+        }
+        for (flag, on) in [
+            ("--run", opts.run),
+            ("--profile", opts.profile),
+            ("--eliminate", opts.eliminate_to.is_some()),
+            ("--explain", opts.explain_spec.is_some()),
+            ("--layout", opts.layout),
+            ("--stats", opts.stats),
+            ("--stats-json", opts.stats_json.is_some()),
+            ("--trace-out", opts.trace_out.is_some()),
+            ("--metrics-out", opts.metrics_out.is_some()),
+        ] {
+            if on {
+                return Err(format!(
+                    "{flag} is a one-shot flag; in serve mode use the protocol instead"
+                ));
+            }
+        }
+        return Ok(opts);
     }
     if opts.files.is_empty() {
         return Err("no input file given".to_string());
@@ -294,6 +330,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.serve {
+        return run_serve(&opts);
+    }
+
     // Telemetry is only collected when something will consume it; the
     // disabled handle adds no allocation to the analysis hot paths. The
     // flight recorder and the metrics registry are further gated on
@@ -314,16 +354,26 @@ fn main() -> ExitCode {
 
     let code = run(&opts, &telemetry);
 
+    // The trace exporter renders recorded events as instants, so it must
+    // render before the log drain clears the recorder. The drain folds
+    // any overflow into the events_dropped stat (and ends the NDJSON
+    // with a log_truncated record when events were lost); the sync does
+    // the same folding when there is no log sink, so every stats
+    // rendering below sees the final drop count.
+    let trace_payload = opts.trace_out.as_ref().map(|_| telemetry.chrome_trace_json());
+    let log_payload = opts
+        .log_out
+        .as_ref()
+        .map(|_| telemetry.drain_events_ndjson(opts.log_filter));
+    telemetry.sync_events_dropped();
+
     if opts.stats {
         eprint!("{}", telemetry.render_stats());
     }
     for (path, contents) in [
-        (opts.trace_out.as_ref(), opts.trace_out.as_ref().map(|_| telemetry.chrome_trace_json())),
+        (opts.trace_out.as_ref(), trace_payload),
         (opts.stats_json.as_ref(), opts.stats_json.as_ref().map(|_| telemetry.render_stats_json())),
-        (
-            opts.log_out.as_ref(),
-            opts.log_out.as_ref().map(|_| telemetry.events_ndjson(opts.log_filter)),
-        ),
+        (opts.log_out.as_ref(), log_payload),
         (opts.metrics_out.as_ref(), opts.metrics_out.as_ref().map(|_| telemetry.metrics_json())),
     ] {
         let (Some(path), Some(contents)) = (path, contents) else {
@@ -337,54 +387,25 @@ fn main() -> ExitCode {
     code
 }
 
-/// Prints the report, the call-graph line, and (optionally) the layout
-/// table — the output shared by single-file and project mode.
-fn print_analysis(
-    program: &Program,
-    callgraph: &CallGraph,
-    liveness: &dead_data_members::analysis::Liveness,
-    report: &dead_data_members::analysis::Report,
-    layout: bool,
-) {
-    println!("{report}");
-    println!(
-        "call graph ({}): {} reachable functions, {} edges",
-        callgraph.algorithm(),
-        callgraph.reachable_count(),
-        callgraph.edge_count()
-    );
-
-    if layout {
-        use dead_data_members::hierarchy::LayoutEngine;
-        let layouts = LayoutEngine::new(program);
-        for (cid, class) in program.classes() {
-            let layout = layouts.layout(cid);
-            println!(
-                "layout {} : size {} align {}{}{}",
-                class.name,
-                layout.size,
-                layout.align,
-                if layout.has_vptr { ", vptr" } else { "" },
-                if layout.overhead > 0 {
-                    format!(", {} overhead bytes", layout.overhead)
-                } else {
-                    String::new()
-                }
-            );
-            for slot in &layout.fields {
-                let owner = &program.class(slot.member.class).name;
-                let member =
-                    &program.class(slot.member.class).members[slot.member.index as usize];
-                let marker = if liveness.is_dead(slot.member) {
-                    " [DEAD]"
-                } else {
-                    ""
-                };
-                println!(
-                    "    +{:<4} {:<4} {}::{}{}",
-                    slot.offset, slot.size, owner, member.name, marker
-                );
-            }
+/// `ddm serve`: hand stdin/stdout to the daemon loop. Each epoch builds
+/// with its own telemetry handle inside [`serve`], so no handle is
+/// created here; `--log-out` (drained per epoch) and `--log-filter` are
+/// forwarded through [`ServeOptions`].
+fn run_serve(opts: &Options) -> ExitCode {
+    let serve_opts = ServeOptions {
+        config: analysis_config(opts),
+        algorithm: opts.algorithm,
+        jobs: opts.jobs,
+        engine: opts.engine,
+        cache_dir: opts.cache_dir.as_ref().map(PathBuf::from),
+        log_out: opts.log_out.as_ref().map(PathBuf::from),
+        log_filter: opts.log_filter,
+    };
+    match serve(&serve_opts, std::io::stdin().lock(), std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
     }
 }
@@ -448,12 +469,15 @@ fn run_project(opts: &Options, telemetry: &Telemetry) -> ExitCode {
         "report".to_string()
     });
     let report = project.report();
-    print_analysis(
-        project.program(),
-        project.callgraph(),
-        project.liveness(),
-        &report,
-        opts.layout,
+    print!(
+        "{}",
+        render_analysis(
+            project.program(),
+            project.callgraph(),
+            project.liveness(),
+            &report,
+            opts.layout,
+        )
     );
     drop(report_span);
 
@@ -506,12 +530,15 @@ fn run(opts: &Options, telemetry: &Telemetry) -> ExitCode {
         "report".to_string()
     });
     let report = pipeline.report();
-    print_analysis(
-        pipeline.program(),
-        pipeline.callgraph(),
-        pipeline.liveness(),
-        &report,
-        opts.layout,
+    print!(
+        "{}",
+        render_analysis(
+            pipeline.program(),
+            pipeline.callgraph(),
+            pipeline.liveness(),
+            &report,
+            opts.layout,
+        )
     );
     drop(report_span);
 

@@ -4,8 +4,10 @@
 //! — in every case ending with output byte-identical to a cacheless
 //! cold run. The atomic temp-then-rename publish protocol guarantees
 //! no reader ever sees a torn `tu-<hash>.json` or `analysis.snap`;
-//! dangling temps are swept on next open, and a rejected snapshot
-//! (torn, version skew) degrades to a summary-cache-only warm start.
+//! dangling temps are swept on next open *once they are older than the
+//! 60-second age gate* (a younger temp may belong to a live racing
+//! writer and must survive), and a rejected snapshot (torn, version
+//! skew) degrades to a summary-cache-only warm start.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -63,6 +65,25 @@ fn run(cache: Option<&PathBuf>, fault: Option<&str>) -> std::process::Output {
     cmd.output().expect("run ddm")
 }
 
+/// Rewinds the mtime of every dangling temp in `dir` past the sweeper's
+/// 60-second age gate — standing in for a writer that died long ago, so
+/// the next open is allowed to sweep what it left behind.
+fn age_temps(dir: &PathBuf) {
+    let old = std::time::SystemTime::now() - std::time::Duration::from_secs(120);
+    for entry in std::fs::read_dir(dir).expect("cache dir") {
+        let path = entry.expect("entry").path();
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+        if name.is_some_and(|n| n.contains(".tmp.")) {
+            std::fs::File::options()
+                .write(true)
+                .open(&path)
+                .expect("open temp")
+                .set_modified(old)
+                .expect("age temp");
+        }
+    }
+}
+
 fn cache_files(dir: &PathBuf, pred: impl Fn(&str) -> bool) -> Vec<String> {
     match std::fs::read_dir(dir) {
         Ok(entries) => entries
@@ -95,6 +116,7 @@ fn kill_mid_write_leaves_no_torn_entry_and_recovers_to_cold() {
     let temps = cache_files(&scratch.0, |n| n.contains(".json.tmp."));
     assert!(!temps.is_empty(), "the fault did not fire inside a write");
 
+    age_temps(&scratch.0);
     let recovered = run(Some(&scratch.0), None);
     assert!(recovered.status.success(), "{recovered:?}");
     assert_eq!(
@@ -123,6 +145,7 @@ fn kill_pre_rename_recovers_byte_identical_to_cold() {
         "an entry was published despite aborting before rename"
     );
 
+    age_temps(&scratch.0);
     let recovered = run(Some(&scratch.0), None);
     assert!(recovered.status.success(), "{recovered:?}");
     assert_eq!(recovered.stdout, cacheless.stdout);
@@ -209,6 +232,7 @@ fn snapshot_kill_mid_write_falls_back_to_summary_cache() {
         "summary entries published before the snapshot must survive"
     );
 
+    age_temps(&scratch.0);
     let recovered = run(Some(&scratch.0), None);
     assert!(recovered.status.success(), "{recovered:?}");
     assert_eq!(
@@ -309,15 +333,37 @@ fn concurrent_writers_never_publish_a_torn_snapshot() {
 }
 
 /// A dangling temp file from a dead writer (any PID, any content) is
-/// swept the next time the cache is opened.
+/// swept the next time the cache is opened — once it is old enough to
+/// be past the age gate.
 #[test]
 fn stale_temps_from_dead_writers_are_swept_on_open() {
     let scratch = Scratch::new("sweep");
     std::fs::create_dir_all(&scratch.0).expect("mkdir");
     let stale = scratch.0.join("tu-deadbeefdeadbeef.json.tmp.99999");
     std::fs::write(&stale, "{half-written").expect("plant stale temp");
+    age_temps(&scratch.0);
 
     let out = run(Some(&scratch.0), None);
     assert!(out.status.success(), "{out:?}");
     assert!(!stale.exists(), "stale temp survived a cache open");
+}
+
+/// A *fresh* temp may belong to a racing writer that is still alive and
+/// about to rename it into place — a concurrent open must leave it
+/// untouched. (Sweeping it used to be a live-process race in long
+/// sessions: serve-mode rebuilds probe the cache while one-shot runs
+/// publish into the same directory.)
+#[test]
+fn fresh_temps_from_racing_writers_survive_a_probe() {
+    let scratch = Scratch::new("freshtemp");
+    std::fs::create_dir_all(&scratch.0).expect("mkdir");
+    let fresh = scratch.0.join("tu-cafecafecafecafe.json.tmp.88888");
+    std::fs::write(&fresh, "{mid-write by a live racer").expect("plant fresh temp");
+
+    let out = run(Some(&scratch.0), None);
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        fresh.exists(),
+        "a racing writer's fresh temp was swept by the probe"
+    );
 }

@@ -216,7 +216,7 @@ fn log_out_writes_ndjson_and_log_filter_selects_classes() {
     assert!(
         filtered
             .lines()
-            .filter(|l| !l.contains("\"event\":\"events_dropped\""))
+            .filter(|l| !l.contains("\"event\":\"log_truncated\""))
             .all(|l| l.contains("\"class\":\"det\"")),
         "--log-filter det leaked observational events:\n{filtered}"
     );

@@ -509,7 +509,8 @@ fn reports_and_explanations_are_byte_identical_across_engines_and_jobs() {
         .unwrap_or_else(|e| panic!("{name}: reference run: {e}"));
         let reference_report = reference.report().to_string();
         let specs = member_specs(reference.program());
-        let reference_explains: Vec<Result<String, String>> = specs
+        let reference_explains: Vec<Result<String, dead_data_members::analysis::ExplainError>> =
+            specs
             .iter()
             .map(|s| {
                 explain(
